@@ -1,0 +1,50 @@
+// Reproduces Fig. 4: dynamic power vs latency Pareto frontiers of Atax and
+// Mvt under a 40% total sampling budget with PowerGear as the prediction
+// model. Prints the exact frontier (ground truth over the full space) and
+// the PowerGear-guided approximate frontier as plottable series, and saves
+// them to fig4_pareto.csv.
+#include "bench_common.hpp"
+
+using namespace powergear;
+
+int main() {
+    const util::BenchScale scale = util::bench_scale();
+    const auto suite = bench::make_suite(scale);
+
+    core::PowerGear::Options pg_opts =
+        core::PowerGear::Options::from_bench_scale(scale,
+                                                   dataset::PowerKind::Dynamic);
+
+    util::Table table({"kernel", "series", "latency_cycles", "dynamic_power_w"});
+    for (const char* kernel : {"atax", "mvt"}) {
+        std::size_t d = suite.size();
+        for (std::size_t k = 0; k < suite.size(); ++k)
+            if (suite[k].name == kernel) d = k;
+        if (d == suite.size()) continue;
+
+        const dataset::Dataset pool = bench::dse_pool(suite[d].name);
+        const auto truth = bench::truth_points(pool);
+        const auto predicted = bench::predicted_powergear(suite, d, pool, pg_opts);
+
+        dse::ExplorerConfig cfg;
+        cfg.total_budget = 0.40;
+        const dse::DseResult res = dse::explore(predicted, truth, cfg);
+
+        std::printf("\nFig. 4 — %s (ADRS %.4f, sampled %zu/%d points)\n", kernel,
+                    res.adrs_value, res.sampled.size(), pool.size());
+        std::printf("  %-12s %14s %16s\n", "series", "latency", "dyn power (W)");
+        for (const dse::Point& p : res.exact_front) {
+            std::printf("  %-12s %14.0f %16.4f\n", "exact", p.latency, p.power);
+            table.add_row({kernel, "exact", util::Table::num(p.latency, 0),
+                           util::Table::num(p.power, 4)});
+        }
+        for (const dse::Point& p : res.approx_front) {
+            std::printf("  %-12s %14.0f %16.4f\n", "powergear", p.latency, p.power);
+            table.add_row({kernel, "powergear", util::Table::num(p.latency, 0),
+                           util::Table::num(p.power, 4)});
+        }
+    }
+    if (table.save_csv("fig4_pareto.csv"))
+        std::printf("\n[saved] fig4_pareto.csv\n");
+    return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks for the hot substrate kernels: IR
+// simulation, activity extraction, graph construction, SA placement, the
+// tensor matmul, and one HEC-GNN forward pass. Useful for tracking
+// performance regressions of the pieces every experiment leans on.
+#include <benchmark/benchmark.h>
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "gnn/model.hpp"
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+
+using namespace powergear;
+
+namespace {
+
+struct Prepared {
+    ir::Function fn;
+    sim::Trace trace;
+    hls::ElabGraph elab;
+    hls::Schedule sched;
+    hls::Binding binding;
+    graphgen::Graph graph;
+    gnn::GraphTensors tensors;
+
+    explicit Prepared(const std::string& kernel, int size, std::uint64_t point)
+        : fn(kernels::build_polybench(kernel, size)),
+          trace{}, elab{}, sched{}, binding{} {
+        sim::Interpreter interp(fn);
+        sim::apply_stimulus(interp, fn, {});
+        trace = interp.run();
+        const hls::DesignSpace space(fn);
+        elab = hls::elaborate(fn, space.point(point % space.size()));
+        sched = hls::schedule(fn, elab);
+        binding = hls::bind(fn, elab, sched);
+        const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+        graph = graphgen::construct_graph(fn, elab, binding, oracle);
+        std::vector<double> metadata(10, 1.0);
+        tensors = gnn::GraphTensors::from(graph, metadata);
+    }
+};
+
+const Prepared& prepared() {
+    static const Prepared p("gemm", 16, 40);
+    return p;
+}
+
+void BM_IrSimulation(benchmark::State& state) {
+    const auto& p = prepared();
+    sim::Interpreter interp(p.fn);
+    sim::apply_stimulus(interp, p.fn, {});
+    for (auto _ : state) {
+        auto trace = interp.run();
+        benchmark::DoNotOptimize(trace.executed_ops);
+    }
+}
+BENCHMARK(BM_IrSimulation);
+
+void BM_ScheduleAndBind(benchmark::State& state) {
+    const auto& p = prepared();
+    for (auto _ : state) {
+        auto sched = hls::schedule(p.fn, p.elab);
+        auto binding = hls::bind(p.fn, p.elab, sched);
+        benchmark::DoNotOptimize(binding.num_units());
+    }
+}
+BENCHMARK(BM_ScheduleAndBind);
+
+void BM_GraphConstruction(benchmark::State& state) {
+    const auto& p = prepared();
+    const sim::ActivityOracle oracle(p.fn, p.elab, p.trace,
+                                     p.sched.total_latency);
+    for (auto _ : state) {
+        auto g = graphgen::construct_graph(p.fn, p.elab, p.binding, oracle);
+        benchmark::DoNotOptimize(g.num_nodes);
+    }
+}
+BENCHMARK(BM_GraphConstruction);
+
+void BM_Placement(benchmark::State& state) {
+    const auto& p = prepared();
+    const sim::ActivityOracle oracle(p.fn, p.elab, p.trace,
+                                     p.sched.total_latency);
+    const fpga::Netlist nl =
+        fpga::build_netlist(p.fn, p.elab, p.binding, oracle);
+    for (auto _ : state) {
+        auto placed = fpga::place(nl);
+        benchmark::DoNotOptimize(placed.total_hpwl);
+    }
+}
+BENCHMARK(BM_Placement);
+
+void BM_Matmul128(benchmark::State& state) {
+    util::Rng rng(3);
+    const nn::Tensor a = nn::Tensor::xavier(128, 128, rng);
+    const nn::Tensor b = nn::Tensor::xavier(128, 128, rng);
+    for (auto _ : state) {
+        auto c = nn::matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_Matmul128);
+
+void BM_HecGnnForward(benchmark::State& state) {
+    const auto& p = prepared();
+    gnn::ModelConfig cfg;
+    cfg.node_dim = p.tensors.x.cols();
+    cfg.hidden = 32;
+    gnn::PowerModel model(cfg);
+    for (auto _ : state) {
+        const float out = model.predict(p.tensors);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_HecGnnForward);
+
+} // namespace
+
+BENCHMARK_MAIN();

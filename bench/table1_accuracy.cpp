@@ -1,0 +1,80 @@
+// Reproduces Table I (accuracy columns): leave-one-application-out errors of
+// total power (Vivado-like, HL-Pow, PowerGear) and dynamic power (GCN,
+// GraphSage, GraphConv, GINE, HL-Pow, PowerGear) across the nine Polybench
+// datasets, plus the dataset properties columns.
+//
+// Scale knobs: POWERGEAR_SAMPLES / _HIDDEN / _EPOCHS / _FOLDS / _SEEDS / _LR.
+#include "bench_common.hpp"
+
+using namespace powergear;
+
+int main() {
+    const util::BenchScale scale = util::bench_scale();
+    const auto suite = bench::make_suite(scale);
+
+    auto pg_opts = [&](dataset::PowerKind kind, gnn::ConvKind conv) {
+        core::PowerGear::Options o =
+            core::PowerGear::Options::from_bench_scale(scale, kind);
+        o.conv = conv;
+        if (conv != gnn::ConvKind::HecGnn) {
+            o.folds = 1; // baselines: single model, 20% validation split
+            o.seeds = 1;
+        }
+        return o;
+    };
+
+    util::Table table({"Dataset", "#Samples", "Avg.#Nodes",
+                       "Tot:Vivado", "Tot:HL-Pow", "Tot:PowerGear",
+                       "Dyn:GCN", "Dyn:GraphSage", "Dyn:GraphConv", "Dyn:GINE",
+                       "Dyn:HL-Pow", "Dyn:PowerGear"});
+
+    const gnn::ConvKind baselines[] = {gnn::ConvKind::Gcn, gnn::ConvKind::Sage,
+                                       gnn::ConvKind::GraphConv,
+                                       gnn::ConvKind::Gine};
+
+    std::vector<std::vector<double>> columns(9);
+    for (std::size_t d = 0; d < bench::eval_count(suite); ++d) {
+        util::Timer t;
+        std::vector<double> row;
+        row.push_back(bench::vivado_loo_mape(suite, d, /*total=*/true));
+        row.push_back(bench::hlpow_loo_mape(suite, d, dataset::PowerKind::Total));
+        row.push_back(bench::gnn_loo_mape(
+            suite, d, pg_opts(dataset::PowerKind::Total, gnn::ConvKind::HecGnn)));
+        for (gnn::ConvKind conv : baselines)
+            row.push_back(bench::gnn_loo_mape(
+                suite, d, pg_opts(dataset::PowerKind::Dynamic, conv)));
+        row.push_back(bench::hlpow_loo_mape(suite, d, dataset::PowerKind::Dynamic));
+        row.push_back(bench::gnn_loo_mape(
+            suite, d,
+            pg_opts(dataset::PowerKind::Dynamic, gnn::ConvKind::HecGnn)));
+
+        for (std::size_t c = 0; c < row.size(); ++c) columns[c].push_back(row[c]);
+        table.add_row({suite[d].name, std::to_string(suite[d].size()),
+                       util::Table::num(suite[d].avg_nodes(), 0),
+                       util::Table::num(row[0]), util::Table::num(row[1]),
+                       util::Table::num(row[2]), util::Table::num(row[3]),
+                       util::Table::num(row[4]), util::Table::num(row[5]),
+                       util::Table::num(row[6]), util::Table::num(row[7]),
+                       util::Table::num(row[8])});
+        std::printf("[%-8s] done in %.1fs\n", suite[d].name.c_str(), t.seconds());
+    }
+
+    double avg_samples = 0.0, avg_nodes = 0.0;
+    const std::size_t evals = bench::eval_count(suite);
+    for (std::size_t d = 0; d < evals; ++d) {
+        avg_samples += suite[d].size();
+        avg_nodes += suite[d].avg_nodes();
+    }
+    avg_samples /= static_cast<double>(evals);
+    avg_nodes /= static_cast<double>(evals);
+
+    std::vector<std::string> avg_row = {"Average",
+                                        util::Table::num(avg_samples, 0),
+                                        util::Table::num(avg_nodes, 0)};
+    for (const auto& col : columns) avg_row.push_back(util::Table::num(util::mean(col)));
+    table.add_row(avg_row);
+
+    std::printf("\nTable I (errors %% of total / dynamic power, leave-one-out):\n");
+    bench::emit(table, "table1_accuracy.csv");
+    return 0;
+}

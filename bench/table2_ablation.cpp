@@ -1,0 +1,61 @@
+// Reproduces Table II: dynamic-power estimation error of the HEC-GNN
+// variants — w/o opt. (no edge features, no directionality, no
+// heterogeneity, no metadata), w/o e.f., w/o dir., w/o hetr., w/o md.,
+// sgl. (single optimized model, no ensemble), and prop. (the full model).
+#include "bench_common.hpp"
+
+using namespace powergear;
+
+int main() {
+    const util::BenchScale scale = util::bench_scale();
+    const auto suite = bench::make_suite(scale);
+
+    struct Variant {
+        const char* name;
+        bool edge_features, directed, heterogeneous, metadata, ensemble;
+    };
+    const Variant variants[] = {
+        {"w/o opt.", false, false, false, false, false},
+        {"w/o e.f.", false, true, true, true, false},
+        {"w/o dir.", true, false, true, true, false},
+        {"w/o hetr.", true, true, false, true, false},
+        {"w/o md.", true, true, true, false, false},
+        {"sgl.", true, true, true, true, false},
+        {"prop.", true, true, true, true, true},
+    };
+
+    std::vector<std::string> header = {"Dataset"};
+    for (const Variant& v : variants) header.push_back(v.name);
+    util::Table table(header);
+
+    std::vector<std::vector<double>> columns(std::size(variants));
+    for (std::size_t d = 0; d < bench::eval_count(suite); ++d) {
+        util::Timer t;
+        std::vector<std::string> row = {suite[d].name};
+        for (std::size_t v = 0; v < std::size(variants); ++v) {
+            core::PowerGear::Options o =
+                core::PowerGear::Options::from_bench_scale(
+                    scale, dataset::PowerKind::Dynamic);
+            o.edge_features = variants[v].edge_features;
+            o.directed = variants[v].directed;
+            o.heterogeneous = variants[v].heterogeneous;
+            o.metadata = variants[v].metadata;
+            if (!variants[v].ensemble) {
+                o.folds = 1;
+                o.seeds = 1;
+            }
+            const double err = bench::gnn_loo_mape(suite, d, o);
+            columns[v].push_back(err);
+            row.push_back(util::Table::num(err));
+        }
+        table.add_row(row);
+        std::printf("[%-8s] done in %.1fs\n", suite[d].name.c_str(), t.seconds());
+    }
+    std::vector<std::string> avg = {"Average"};
+    for (const auto& col : columns) avg.push_back(util::Table::num(util::mean(col)));
+    table.add_row(avg);
+
+    std::printf("\nTable II (dynamic power error %% of HEC-GNN variants):\n");
+    bench::emit(table, "table2_ablation.csv");
+    return 0;
+}

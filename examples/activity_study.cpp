@@ -1,0 +1,67 @@
+// Activity study: the paper's core premise is that interconnect switching
+// activity — not just resource counts — drives dynamic power. This example
+// holds the architecture fixed (same kernel, same directives) and sweeps the
+// input-data statistics: wider operands and less temporal correlation mean
+// more Hamming-distance toggling per cycle, hence more dynamic power, while
+// static power barely moves. It then shows the edge features tracking the
+// same trend, which is exactly the signal HEC-GNN aggregates.
+#include <cstdio>
+
+#include "fpga/board.hpp"
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+
+using namespace powergear;
+
+int main() {
+    const ir::Function fn = kernels::build_polybench("gemm", 12);
+    hls::Directives dirs;
+    for (int l : fn.innermost_loops()) dirs.loops[l] = {2, true};
+
+    const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    const hls::Binding binding = hls::bind(fn, elab, sched);
+    const hls::HlsReport report = hls::make_report(fn, elab, sched, binding);
+
+    std::printf("fixed architecture: gemm, %s — LUT %d, DSP %d, latency %lld\n\n",
+                dirs.to_string().c_str(), report.lut, report.dsp,
+                static_cast<long long>(report.latency_cycles));
+    std::printf("%-10s %-12s %12s %12s %12s %14s\n", "bits", "correlation",
+                "dyn (W)", "static (W)", "total (W)", "mean edge SA");
+
+    std::uint64_t uid = 0;
+    for (int bits : {4, 12, 20, 28}) {
+        for (double corr : {0.0, 0.6}) {
+            sim::Interpreter interp(fn);
+            sim::StimulusProfile prof;
+            prof.active_bits = bits;
+            prof.correlation = corr;
+            prof.seed = 7;
+            sim::apply_stimulus(interp, fn, prof);
+            const sim::Trace trace = interp.run();
+            const sim::ActivityOracle oracle(fn, elab, trace,
+                                             sched.total_latency);
+
+            const fpga::BoardMeasurement m = fpga::measure_on_board(
+                fn, elab, binding, oracle, report, uid++);
+            const graphgen::Graph g =
+                graphgen::construct_graph(fn, elab, binding, oracle);
+            double mean_sa = 0.0;
+            for (const auto& e : g.edges) mean_sa += e.feat[0];
+            mean_sa /= static_cast<double>(g.edges.empty() ? 1 : g.edges.size());
+
+            std::printf("%-10d %-12.1f %12.4f %12.4f %12.4f %14.4f\n", bits,
+                        corr, m.dynamic_w, m.static_w, m.total_w, mean_sa);
+        }
+    }
+    std::printf("\nDynamic power and the graph's edge switching-activity\n"
+                "features rise together with operand width while static\n"
+                "power stays put. The GNN's edge-centric aggregation\n"
+                "regresses exactly this relationship.\n");
+    return 0;
+}

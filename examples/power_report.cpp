@@ -1,0 +1,80 @@
+// Power report: push one kernel configuration through the full flow and
+// print everything an engineer would want to see — the HLS report, the
+// constructed graph's shape, the board measurement with its dynamic/static
+// breakdown, and the Vivado-like baseline estimate with its runtime.
+//
+// Usage: power_report [kernel] [design_index]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fpga/board.hpp"
+#include "fpga/vivado_like.hpp"
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+#include "util/timer.hpp"
+
+using namespace powergear;
+
+int main(int argc, char** argv) {
+    const std::string kernel = argc > 1 ? argv[1] : "gemm";
+    const std::uint64_t want_index =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+    const ir::Function fn = kernels::build_polybench(kernel, 8);
+    const hls::DesignSpace space(fn);
+    const std::uint64_t index = want_index % space.size();
+    const hls::Directives dirs = space.point(index);
+    std::printf("kernel      : %s\n", kernel.c_str());
+    std::printf("design space: %llu points, showing #%llu (%s)\n",
+                static_cast<unsigned long long>(space.size()),
+                static_cast<unsigned long long>(index),
+                dirs.to_string().c_str());
+
+    sim::Interpreter interp(fn);
+    sim::apply_stimulus(interp, fn, {});
+    const sim::Trace trace = interp.run();
+
+    util::Timer hls_timer;
+    const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    const hls::Binding binding = hls::bind(fn, elab, sched);
+    const hls::HlsReport report = hls::make_report(fn, elab, sched, binding);
+    const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+    const graphgen::Graph g = graphgen::construct_graph(fn, elab, binding, oracle);
+    const double hls_s = hls_timer.seconds();
+
+    std::printf("\n-- HLS report --------------------------------------\n");
+    std::printf("LUT %d  FF %d  DSP %d  BRAM %d\n", report.lut, report.ff,
+                report.dsp, report.bram);
+    std::printf("latency %lld cycles, achieved clock %.2f ns, %d FSM states\n",
+                static_cast<long long>(report.latency_cycles), report.clock_ns,
+                report.fsm_states);
+
+    std::printf("\n-- graph sample ------------------------------------\n");
+    std::printf("%d nodes, %zu edges (from %d operator instances)\n",
+                g.num_nodes, g.edges.size(), elab.num_ops());
+    int rel_count[4] = {0, 0, 0, 0};
+    for (const auto& e : g.edges) ++rel_count[e.relation];
+    std::printf("relations: N->N %d, N->A %d, A->N %d, A->A %d\n", rel_count[0],
+                rel_count[1], rel_count[2], rel_count[3]);
+
+    std::printf("\n-- board measurement (ground truth) ----------------\n");
+    const fpga::BoardMeasurement m =
+        fpga::measure_on_board(fn, elab, binding, oracle, report, index);
+    std::printf("total %.3f W = dynamic %.3f W + static %.3f W\n", m.total_w,
+                m.dynamic_w, m.static_w);
+
+    std::printf("\n-- Vivado-like estimator (uncalibrated) ------------\n");
+    const fpga::VivadoEstimate est =
+        fpga::vivado_estimate(fn, elab, binding, oracle, report);
+    std::printf("total %.3f W, dynamic %.3f W (flow runtime %.1f ms)\n",
+                est.total_w, est.dynamic_w, est.runtime_s * 1e3);
+    std::printf("PowerGear graph construction runtime: %.1f ms\n", hls_s * 1e3);
+    return 0;
+}

@@ -1,0 +1,82 @@
+#include "core/powergear.hpp"
+
+#include <stdexcept>
+
+#include "gnn/serialize.hpp"
+
+namespace powergear::core {
+
+PowerGear::Options PowerGear::Options::from_bench_scale(
+    const util::BenchScale& s, dataset::PowerKind kind) {
+    Options o;
+    o.kind = kind;
+    o.hidden = s.hidden_dim;
+    o.layers = s.layers;
+    o.dropout = static_cast<float>(s.dropout);
+    o.learning_rate = s.learning_rate;
+    o.epochs = kind == dataset::PowerKind::Dynamic ? s.epochs_dynamic
+                                                   : s.epochs_total;
+    o.batch_size = s.batch_size;
+    o.folds = s.folds;
+    o.seeds = s.seeds;
+    return o;
+}
+
+void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
+    if (train.empty()) throw std::invalid_argument("PowerGear::fit: empty pool");
+
+    std::vector<const gnn::GraphTensors*> graphs;
+    std::vector<float> labels;
+    dataset::collect(train, opts_.kind, graphs, labels);
+
+    gnn::EnsembleConfig ec;
+    ec.model.kind = opts_.conv;
+    ec.model.node_dim = graphs.front()->x.cols();
+    ec.model.metadata_dim = graphs.front()->metadata.cols();
+    ec.model.hidden = opts_.hidden;
+    ec.model.layers = opts_.layers;
+    ec.model.dropout = opts_.dropout;
+    ec.model.learning_rate = opts_.learning_rate;
+    ec.model.edge_features = opts_.edge_features;
+    ec.model.directed = opts_.directed;
+    ec.model.heterogeneous = opts_.heterogeneous;
+    ec.model.metadata = opts_.metadata;
+    ec.model.jumping_knowledge = opts_.jumping_knowledge;
+    ec.model.seed = opts_.seed;
+    ec.folds = opts_.folds;
+    ec.seeds = opts_.seeds;
+    ec.epochs = opts_.epochs;
+    ec.batch_size = opts_.batch_size;
+
+    ensemble_.fit(graphs, labels, ec);
+    fitted_ = true;
+}
+
+double PowerGear::estimate(const dataset::Sample& sample) const {
+    return estimate(sample.tensors);
+}
+
+double PowerGear::estimate(const gnn::GraphTensors& tensors) const {
+    if (!fitted_) throw std::logic_error("PowerGear::estimate before fit");
+    return ensemble_.predict(tensors);
+}
+
+void PowerGear::save(const std::string& path) const {
+    if (!fitted_) throw std::logic_error("PowerGear::save before fit");
+    gnn::save_ensemble_file(path, ensemble_);
+}
+
+void PowerGear::load(const std::string& path) {
+    ensemble_ = gnn::load_ensemble_file(path);
+    fitted_ = ensemble_.num_members() > 0;
+}
+
+double PowerGear::evaluate_mape(
+    const std::vector<const dataset::Sample*>& test) const {
+    std::vector<const gnn::GraphTensors*> graphs;
+    std::vector<float> labels;
+    dataset::collect(test, opts_.kind, graphs, labels);
+    return ensemble_.evaluate_mape(graphs, labels);
+}
+
+} // namespace powergear::core

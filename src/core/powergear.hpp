@@ -1,0 +1,73 @@
+// PowerGear public API — the paper's end-to-end estimator.
+//
+// Train once on datasets of graph samples (with board-measured labels), then
+// estimate total or dynamic power for unseen designs straight from their HLS
+// artifacts — no implementation flow, no re-training (transferability).
+//
+// Typical use:
+//   auto suite = dataset::generate_polybench_suite(opts);
+//   PowerGear pg(PowerGear::Options::from_bench_scale(scale, PowerKind::Dynamic));
+//   pg.fit(dataset::pool_except(suite, test_idx));
+//   double watts = pg.estimate(suite[test_idx].samples[0]);
+#pragma once
+
+#include "dataset/sample.hpp"
+#include "gnn/ensemble.hpp"
+#include "util/env.hpp"
+
+namespace powergear::core {
+
+class PowerGear {
+public:
+    struct Options {
+        dataset::PowerKind kind = dataset::PowerKind::Total;
+        gnn::ConvKind conv = gnn::ConvKind::HecGnn;
+        int hidden = 16;
+        int layers = 3;
+        float dropout = 0.2f;
+        double learning_rate = 5e-4;
+        int epochs = 30;
+        int batch_size = 32;
+        int folds = 2;   ///< <=1 trains a single model ("sgl." variant)
+        int seeds = 1;
+        // HEC-GNN ablation switches.
+        bool edge_features = true;
+        bool directed = true;
+        bool heterogeneous = true;
+        bool metadata = true;
+        bool jumping_knowledge = true;
+        std::uint64_t seed = 1;
+
+        /// Resolve model scale from the POWERGEAR_* environment bundle.
+        static Options from_bench_scale(const util::BenchScale& s,
+                                        dataset::PowerKind kind);
+    };
+
+    explicit PowerGear(Options opts) : opts_(opts) {}
+
+    /// Train the ensemble on a pool of samples (e.g. eight of nine datasets
+    /// in the leave-one-application-out protocol).
+    void fit(const std::vector<const dataset::Sample*>& train);
+
+    /// Power estimate (watts) for one sample's graph + metadata.
+    double estimate(const dataset::Sample& sample) const;
+    double estimate(const gnn::GraphTensors& tensors) const;
+
+    /// MAPE (%) against board measurements on a test pool.
+    double evaluate_mape(const std::vector<const dataset::Sample*>& test) const;
+
+    /// Persist the trained ensemble to a file (text format, bit-exact).
+    void save(const std::string& path) const;
+    /// Load a previously saved ensemble; the estimator becomes ready to use.
+    void load(const std::string& path);
+
+    const Options& options() const { return opts_; }
+    int num_members() const { return ensemble_.num_members(); }
+
+private:
+    Options opts_;
+    gnn::Ensemble ensemble_;
+    bool fitted_ = false;
+};
+
+} // namespace powergear::core

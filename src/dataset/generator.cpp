@@ -1,0 +1,96 @@
+#include "dataset/generator.hpp"
+
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "hlpow/features.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace powergear::dataset {
+
+Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opts) {
+    Dataset ds;
+    ds.name = fn.name;
+
+    // One simulation per kernel: the value trace is directive-independent.
+    sim::Interpreter interp(fn);
+    sim::StimulusProfile stim = opts.stimulus;
+    stim.seed = util::hash_mix(opts.seed, std::hash<std::string>{}(fn.name));
+    sim::apply_stimulus(interp, fn, stim);
+    const sim::Trace trace = interp.run();
+
+    // Unoptimized baseline report for the metadata scaling factors.
+    const hls::ElabGraph base_elab = hls::elaborate(fn, hls::Directives{});
+    const hls::Schedule base_sched = hls::schedule(fn, base_elab);
+    const hls::Binding base_bind = hls::bind(fn, base_elab, base_sched);
+    const hls::HlsReport base_report =
+        hls::make_report(fn, base_elab, base_sched, base_bind);
+
+    const hls::DesignSpace space(fn);
+    const std::vector<hls::Directives> points =
+        space.sample(opts.samples_per_dataset);
+
+    std::uint64_t design_index = 0;
+    for (const hls::Directives& dirs : points) {
+        Sample smp;
+        smp.kernel = fn.name;
+        smp.design_index = design_index++;
+        smp.directives = dirs;
+
+        // --- PowerGear-side flow (timed): HLS + graph construction --------
+        util::Timer pg_timer;
+        const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+        const hls::Schedule sched = hls::schedule(fn, elab);
+        const hls::Binding binding = hls::bind(fn, elab, sched);
+        const hls::HlsReport report = hls::make_report(fn, elab, sched, binding);
+        const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+        smp.graph = graphgen::construct_graph(fn, elab, binding, oracle);
+        smp.metadata = hls::metadata_features(report, base_report);
+        smp.tensors = gnn::GraphTensors::from(smp.graph, smp.metadata);
+        smp.powergear_runtime_s = pg_timer.seconds();
+
+        smp.hlpow_feats = hlpow::hlpow_features(elab, oracle, smp.metadata);
+        smp.latency_cycles = report.latency_cycles;
+
+        // --- ground truth: board measurement ------------------------------
+        const std::uint64_t sample_uid = util::hash_mix(
+            std::hash<std::string>{}(fn.name), smp.design_index);
+        const fpga::BoardMeasurement m = fpga::measure_on_board(
+            fn, elab, binding, oracle, report, sample_uid, opts.board);
+        smp.total_power_w = m.total_w;
+        smp.dynamic_power_w = m.dynamic_w;
+        smp.static_power_w = m.static_w;
+
+        // --- Vivado-like baseline flow -------------------------------------
+        if (opts.run_vivado) {
+            const fpga::VivadoEstimate est = fpga::vivado_estimate(
+                fn, elab, binding, oracle, report, opts.vivado);
+            smp.vivado_total_raw = est.total_w;
+            smp.vivado_dynamic_raw = est.dynamic_w;
+            smp.vivado_runtime_s = est.runtime_s;
+        }
+
+        ds.samples.push_back(std::move(smp));
+    }
+    return ds;
+}
+
+Dataset generate_dataset(const std::string& kernel_name,
+                         const GeneratorOptions& opts) {
+    const ir::Function fn =
+        kernels::build_polybench(kernel_name, opts.problem_size);
+    return generate_dataset_for(fn, opts);
+}
+
+std::vector<Dataset> generate_polybench_suite(const GeneratorOptions& opts) {
+    std::vector<Dataset> out;
+    for (const std::string& name : kernels::polybench_names())
+        out.push_back(generate_dataset(name, opts));
+    return out;
+}
+
+} // namespace powergear::dataset

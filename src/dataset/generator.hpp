@@ -1,0 +1,40 @@
+// Dataset generation: sweep a kernel's directive space, push each design
+// point through the full flow (elaborate -> schedule -> bind -> simulate ->
+// graph construction -> board measurement -> Vivado-like estimation) and
+// package samples. The IR-level simulation trace is shared across design
+// points of one kernel (the stimulus does not depend on directives), so a
+// dataset costs one simulation plus per-point analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataset/sample.hpp"
+#include "fpga/board.hpp"
+#include "fpga/vivado_like.hpp"
+#include "sim/stimulus.hpp"
+
+namespace powergear::dataset {
+
+struct GeneratorOptions {
+    int samples_per_dataset = 24; ///< paper: ~500
+    int problem_size = 16;        ///< Polybench matrix dimension
+    std::uint64_t seed = 42;
+    sim::StimulusProfile stimulus;     ///< seed is re-derived per kernel
+    fpga::BoardOptions board;
+    fpga::VivadoOptions vivado;
+    bool run_vivado = true; ///< skip the baseline flow (faster unit tests)
+};
+
+/// Generate one dataset for a named Polybench kernel.
+Dataset generate_dataset(const std::string& kernel_name,
+                         const GeneratorOptions& opts = {});
+
+/// Generate a dataset from an arbitrary (e.g. synthetic) IR function.
+Dataset generate_dataset_for(const ir::Function& fn,
+                             const GeneratorOptions& opts = {});
+
+/// All nine Polybench datasets in Table I order.
+std::vector<Dataset> generate_polybench_suite(const GeneratorOptions& opts = {});
+
+} // namespace powergear::dataset

@@ -1,0 +1,38 @@
+#include "dataset/sample.hpp"
+
+namespace powergear::dataset {
+
+double Dataset::avg_nodes() const {
+    if (samples.empty()) return 0.0;
+    double s = 0.0;
+    for (const Sample& smp : samples) s += smp.graph.num_nodes;
+    return s / static_cast<double>(samples.size());
+}
+
+void collect(const std::vector<const Sample*>& samples, PowerKind kind,
+             std::vector<const gnn::GraphTensors*>& graphs,
+             std::vector<float>& labels) {
+    graphs.clear();
+    labels.clear();
+    graphs.reserve(samples.size());
+    labels.reserve(samples.size());
+    for (const Sample* s : samples) {
+        graphs.push_back(&s->tensors);
+        labels.push_back(s->label(kind));
+    }
+}
+
+void collect_hlpow(const std::vector<const Sample*>& samples, PowerKind kind,
+                   std::vector<std::vector<float>>& feats,
+                   std::vector<float>& labels) {
+    feats.clear();
+    labels.clear();
+    feats.reserve(samples.size());
+    labels.reserve(samples.size());
+    for (const Sample* s : samples) {
+        feats.push_back(s->hlpow_feats);
+        labels.push_back(s->label(kind));
+    }
+}
+
+} // namespace powergear::dataset

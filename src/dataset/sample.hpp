@@ -1,0 +1,66 @@
+// Dataset sample: one HLS design point with its graph, features, labels and
+// timing bookkeeping for the runtime-speedup experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gnn/convs.hpp"
+#include "graphgen/graph.hpp"
+#include "hls/directives.hpp"
+
+namespace powergear::dataset {
+
+/// Which power label a model regresses.
+enum class PowerKind { Total, Dynamic };
+
+struct Sample {
+    std::string kernel;
+    std::uint64_t design_index = 0; ///< index in the kernel's design space
+    hls::Directives directives;
+
+    graphgen::Graph graph;          ///< constructed graph sample
+    gnn::GraphTensors tensors;      ///< NN-ready view of graph + metadata
+    std::vector<double> metadata;   ///< raw HLS-report metadata (10 dims)
+    std::vector<float> hlpow_feats; ///< HL-Pow histogram features
+
+    // Ground truth from the synthetic board.
+    double total_power_w = 0.0;
+    double dynamic_power_w = 0.0;
+    double static_power_w = 0.0;
+
+    // DSE axes.
+    std::int64_t latency_cycles = 0;
+
+    // Vivado-like baseline estimates (uncalibrated) and flow runtimes.
+    double vivado_total_raw = 0.0;
+    double vivado_dynamic_raw = 0.0;
+    double vivado_runtime_s = 0.0;    ///< implementation + estimation wall time
+    double powergear_runtime_s = 0.0; ///< HLS + graph construction wall time
+
+    float label(PowerKind kind) const {
+        return static_cast<float>(kind == PowerKind::Total ? total_power_w
+                                                           : dynamic_power_w);
+    }
+};
+
+struct Dataset {
+    std::string name;
+    std::vector<Sample> samples;
+
+    double avg_nodes() const;
+    int size() const { return static_cast<int>(samples.size()); }
+};
+
+/// Extract parallel (tensor pointers, labels) arrays from a sample span.
+void collect(const std::vector<const Sample*>& samples, PowerKind kind,
+             std::vector<const gnn::GraphTensors*>& graphs,
+             std::vector<float>& labels);
+
+/// Same for HL-Pow features.
+void collect_hlpow(const std::vector<const Sample*>& samples, PowerKind kind,
+                   std::vector<std::vector<float>>& feats,
+                   std::vector<float>& labels);
+
+} // namespace powergear::dataset

@@ -1,0 +1,22 @@
+#include "dataset/splits.hpp"
+
+namespace powergear::dataset {
+
+std::vector<const Sample*> pool_except(const std::vector<Dataset>& suite,
+                                       std::size_t held_out) {
+    std::vector<const Sample*> out;
+    for (std::size_t d = 0; d < suite.size(); ++d) {
+        if (d == held_out) continue;
+        for (const Sample& s : suite[d].samples) out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<const Sample*> pool_of(const Dataset& ds) {
+    std::vector<const Sample*> out;
+    out.reserve(ds.samples.size());
+    for (const Sample& s : ds.samples) out.push_back(&s);
+    return out;
+}
+
+} // namespace powergear::dataset

@@ -1,0 +1,19 @@
+// Train/test split helpers for the paper's leave-one-application-out
+// evaluation protocol: the target application's dataset is held out entirely
+// and models train on the other eight (transferability to unseen kernels).
+#pragma once
+
+#include <vector>
+
+#include "dataset/sample.hpp"
+
+namespace powergear::dataset {
+
+/// Pointers to every sample of every dataset except `held_out`.
+std::vector<const Sample*> pool_except(const std::vector<Dataset>& suite,
+                                       std::size_t held_out);
+
+/// Pointers to the samples of one dataset.
+std::vector<const Sample*> pool_of(const Dataset& ds);
+
+} // namespace powergear::dataset

@@ -1,0 +1,31 @@
+#include "dse/adrs.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace powergear::dse {
+
+double adrs_distance(const Point& exact, const Point& approx) {
+    const double dl = exact.latency > 0.0
+                          ? (approx.latency - exact.latency) / exact.latency
+                          : 0.0;
+    const double dp =
+        exact.power > 0.0 ? (approx.power - exact.power) / exact.power : 0.0;
+    return std::max(0.0, std::max(dl, dp));
+}
+
+double adrs(const std::vector<Point>& exact_front,
+            const std::vector<Point>& approx_front) {
+    if (exact_front.empty()) return 0.0;
+    if (approx_front.empty()) return std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    for (const Point& g : exact_front) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const Point& w : approx_front)
+            best = std::min(best, adrs_distance(g, w));
+        sum += best;
+    }
+    return sum / static_cast<double>(exact_front.size());
+}
+
+} // namespace powergear::dse

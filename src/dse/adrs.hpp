@@ -1,0 +1,21 @@
+// Average distance from reference set (paper Eq. 8): mean over exact-front
+// points gamma of the minimum distance to any approximate-front point omega.
+// Distance is the standard ADRS metric: the worst relative objective gap,
+// f(gamma, omega) = max_j max(0, (omega_j - gamma_j) / gamma_j).
+#pragma once
+
+#include <vector>
+
+#include "dse/pareto.hpp"
+
+namespace powergear::dse {
+
+/// Pairwise ADRS distance between an exact point and an approximate point.
+double adrs_distance(const Point& exact, const Point& approx);
+
+/// ADRS(exact_front, approx_front). Returns 0 for an empty exact front and
+/// +infinity for an empty approximate front.
+double adrs(const std::vector<Point>& exact_front,
+            const std::vector<Point>& approx_front);
+
+} // namespace powergear::dse

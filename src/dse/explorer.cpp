@@ -1,0 +1,63 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace powergear::dse {
+
+DseResult explore(const std::vector<Point>& predicted,
+                  const std::vector<Point>& truth, const ExplorerConfig& cfg) {
+    if (predicted.size() != truth.size() || predicted.empty())
+        throw std::invalid_argument("dse::explore: bad inputs");
+    const int n = static_cast<int>(predicted.size());
+    const int budget = std::max(
+        2, static_cast<int>(cfg.total_budget * static_cast<double>(n)));
+    const int initial = std::clamp(
+        static_cast<int>(cfg.initial_budget * static_cast<double>(n)), 1, budget);
+
+    std::vector<bool> sampled(static_cast<std::size_t>(n), false);
+    DseResult res;
+
+    // Initial random sample.
+    util::Rng rng(cfg.seed);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (int k = 0; k < initial; ++k) {
+        sampled[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = true;
+        res.sampled.push_back(order[static_cast<std::size_t>(k)]);
+    }
+
+    // Iterative refinement: promote the predicted-Pareto-optimal unsampled
+    // points each round until the budget is exhausted.
+    while (static_cast<int>(res.sampled.size()) < budget) {
+        std::vector<Point> unsampled;
+        for (int i = 0; i < n; ++i)
+            if (!sampled[static_cast<std::size_t>(i)])
+                unsampled.push_back(predicted[static_cast<std::size_t>(i)]);
+        if (unsampled.empty()) break;
+
+        std::vector<Point> candidates = pareto_front(unsampled);
+        // Deterministic tie-breaking order: latency-ascending already.
+        bool promoted = false;
+        for (const Point& c : candidates) {
+            if (static_cast<int>(res.sampled.size()) >= budget) break;
+            sampled[static_cast<std::size_t>(c.index)] = true;
+            res.sampled.push_back(c.index);
+            promoted = true;
+        }
+        if (!promoted) break;
+    }
+
+    // Evaluate: frontier of sampled points under true objectives.
+    std::vector<Point> evaluated;
+    for (int i : res.sampled) evaluated.push_back(truth[static_cast<std::size_t>(i)]);
+    res.approx_front = pareto_front(evaluated);
+    res.exact_front = pareto_front(truth);
+    res.adrs_value = adrs(res.exact_front, res.approx_front);
+    return res;
+}
+
+} // namespace powergear::dse

@@ -1,0 +1,38 @@
+// Iterative prediction-guided design space exploration (paper Sec. IV-C).
+//
+// Starting from a small random initial sample (2% of the space), each
+// iteration computes the Pareto frontier of the *unsampled* points under the
+// prediction model's power estimates (latency comes from HLS and is exact)
+// and promotes those promising points into the sampled set for further
+// evaluation, until the total sampling budget is met. The returned
+// approximate Pareto set is the frontier of the sampled points under their
+// evaluated (true) objectives; its quality is reported as ADRS against the
+// exact frontier of the full space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dse/adrs.hpp"
+
+namespace powergear::dse {
+
+struct ExplorerConfig {
+    double initial_budget = 0.02; ///< fraction sampled before prediction kicks in
+    double total_budget = 0.40;   ///< total fraction of the space evaluated
+    std::uint64_t seed = 5;
+};
+
+struct DseResult {
+    std::vector<int> sampled;         ///< design indices evaluated
+    std::vector<Point> approx_front;  ///< frontier of sampled points (true objectives)
+    std::vector<Point> exact_front;   ///< frontier of the full space
+    double adrs_value = 0.0;
+};
+
+/// `predicted` and `truth` are parallel arrays over the whole design space:
+/// identical latency (exact, from HLS), power = model estimate vs board truth.
+DseResult explore(const std::vector<Point>& predicted,
+                  const std::vector<Point>& truth, const ExplorerConfig& cfg);
+
+} // namespace powergear::dse

@@ -1,0 +1,30 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace powergear::dse {
+
+bool dominates(const Point& a, const Point& b) {
+    return a.latency <= b.latency && a.power <= b.power &&
+           (a.latency < b.latency || a.power < b.power);
+}
+
+std::vector<Point> pareto_front(const std::vector<Point>& points) {
+    std::vector<Point> sorted = points;
+    std::sort(sorted.begin(), sorted.end(), [](const Point& a, const Point& b) {
+        if (a.latency != b.latency) return a.latency < b.latency;
+        return a.power < b.power;
+    });
+    std::vector<Point> front;
+    double best_power = std::numeric_limits<double>::infinity();
+    for (const Point& p : sorted) {
+        if (p.power < best_power) {
+            front.push_back(p);
+            best_power = p.power;
+        }
+    }
+    return front;
+}
+
+} // namespace powergear::dse

@@ -1,0 +1,22 @@
+// Pareto-frontier computation for latency/power design space exploration.
+// Both objectives are minimized.
+#pragma once
+
+#include <vector>
+
+namespace powergear::dse {
+
+/// One design point in objective space (plus its identity in the space).
+struct Point {
+    double latency = 0.0;
+    double power = 0.0;
+    int index = -1; ///< design identity (e.g. index into the dataset)
+};
+
+/// True iff `a` dominates `b` (<= on both objectives, < on at least one).
+bool dominates(const Point& a, const Point& b);
+
+/// Non-dominated subset, sorted by ascending latency.
+std::vector<Point> pareto_front(const std::vector<Point>& points);
+
+} // namespace powergear::dse

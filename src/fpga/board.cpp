@@ -1,0 +1,43 @@
+#include "fpga/board.hpp"
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/routing.hpp"
+#include "util/rng.hpp"
+
+namespace powergear::fpga {
+
+BoardMeasurement measure_on_board(const ir::Function& fn,
+                                  const hls::ElabGraph& elab,
+                                  const hls::Binding& binding,
+                                  const sim::ActivityOracle& oracle,
+                                  const hls::HlsReport& report,
+                                  std::uint64_t sample_id,
+                                  const BoardOptions& opts) {
+    const Netlist nl = build_netlist(fn, elab, binding, oracle);
+    PlacementOptions popts;
+    popts.moves_per_cell = opts.place_moves_per_cell;
+    // Placement seed keyed to the sample keeps the flow deterministic while
+    // decorrelating physical layouts across design points.
+    popts.seed = util::hash_mix(0x1ace5eedULL, sample_id);
+    const Placement placed = place(nl, popts);
+    // Routed (congestion-aware) wirelength drives interconnect capacitance.
+    const RoutingResult routed = route(nl, placed);
+
+    const PowerBreakdown pw =
+        compute_power(nl, placed, report, PowerModelParams{}, &routed);
+
+    BoardMeasurement m;
+    const double jitter_dyn =
+        1.0 + util::hash_jitter(opts.noise_seed, sample_id * 2 + 0,
+                                opts.noise_amplitude);
+    const double jitter_stat =
+        1.0 + util::hash_jitter(opts.noise_seed, sample_id * 2 + 1,
+                                opts.noise_amplitude);
+    m.dynamic_w = pw.dynamic_total() * jitter_dyn;
+    m.static_w = pw.static_w * jitter_stat;
+    m.total_w = m.dynamic_w + m.static_w;
+    return m;
+}
+
+} // namespace powergear::fpga

@@ -1,0 +1,41 @@
+// The synthetic "board": ground-truth power measurement.
+//
+// Substitutes for the paper's ZCU102 + Power Advantage Tool readings. A
+// measurement runs the full implementation flow — netlist expansion, high-
+// effort simulated-annealing placement — and evaluates the gating-aware
+// power model, then applies a small deterministic per-sample measurement
+// noise. The result depends on physical quantities (wirelength-derived
+// capacitance) that no estimator input exposes directly, preserving the
+// learning problem's causal structure.
+#pragma once
+
+#include "fpga/power_model.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "sim/activity.hpp"
+
+namespace powergear::fpga {
+
+struct BoardMeasurement {
+    double total_w = 0.0;
+    double dynamic_w = 0.0; ///< activity-dependent portion (signals + clock)
+    double static_w = 0.0;
+};
+
+struct BoardOptions {
+    int place_moves_per_cell = 150; ///< implementation effort
+    double noise_amplitude = 0.01;  ///< +-1% measurement repeatability
+    std::uint64_t noise_seed = 0x5eedu;
+};
+
+/// Measure one implemented design. `sample_id` salts the deterministic
+/// measurement noise so repeated measurements of the same sample agree.
+BoardMeasurement measure_on_board(const ir::Function& fn,
+                                  const hls::ElabGraph& elab,
+                                  const hls::Binding& binding,
+                                  const sim::ActivityOracle& oracle,
+                                  const hls::HlsReport& report,
+                                  std::uint64_t sample_id,
+                                  const BoardOptions& opts = {});
+
+} // namespace powergear::fpga

@@ -1,0 +1,153 @@
+#include "fpga/netlist.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "hls/oplib.hpp"
+
+namespace powergear::fpga {
+
+namespace {
+
+/// Follow operand-0 chains upward until a hardware op (one with a bound
+/// unit) is reached; returns -1 when the source is a constant or similar.
+int hw_source(const ir::Function& fn, const hls::ElabGraph& elab,
+              const hls::Binding& binding,
+              const std::map<std::pair<int, int>, int>& producer_of_pin,
+              int op_id) {
+    int cur = op_id;
+    for (int hops = 0; hops < 64; ++hops) {
+        if (binding.unit_of_op[static_cast<std::size_t>(cur)] >= 0) return cur;
+        const hls::ElabOp& op = elab.ops[static_cast<std::size_t>(cur)];
+        if (fn.instr(op.instr).operands.empty()) return -1;
+        auto it = producer_of_pin.find({cur, 0});
+        if (it == producer_of_pin.end()) return -1;
+        cur = it->second;
+    }
+    return -1;
+}
+
+} // namespace
+
+Netlist build_netlist(const ir::Function& fn, const hls::ElabGraph& elab,
+                      const hls::Binding& binding,
+                      const sim::ActivityOracle& oracle) {
+    Netlist nl;
+
+    // --- cells ---------------------------------------------------------------
+    // One cell per functional unit.
+    std::vector<int> cell_of_unit(binding.units.size(), -1);
+    for (int u = 0; u < binding.num_units(); ++u) {
+        const hls::Unit& unit = binding.units[static_cast<std::size_t>(u)];
+        const hls::OpCharacter ch = hls::characterize(unit.op, unit.bitwidth);
+        Cell c;
+        c.kind = ch.res.dsp > 0 ? CellKind::Dsp : CellKind::Logic;
+        c.area = std::max(1, (ch.res.lut + ch.res.ff / 2) / 16 + ch.res.dsp * 4);
+        c.unit = u;
+        c.sequential = ch.latency > 0;
+        cell_of_unit[static_cast<std::size_t>(u)] = nl.num_cells();
+        nl.cells.push_back(c);
+    }
+
+    // One cell per (array, bank) memory.
+    std::map<std::pair<int, int>, int> cell_of_bank;
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        const hls::ElabOp& op = elab.ops[static_cast<std::size_t>(o)];
+        if (op.op != ir::Opcode::Load && op.op != ir::Opcode::Store) continue;
+        const int banks = elab.directives.banks_of(op.array);
+        const std::pair<int, int> key{op.array, hls::bank_of(op.replica, banks)};
+        if (cell_of_bank.count(key)) continue;
+        const ir::ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(op.array)];
+        Cell c;
+        c.kind = CellKind::MemBank;
+        c.area = decl.is_register()
+                     ? 1
+                     : std::max(2, static_cast<int>(decl.num_elements() *
+                                                    decl.bitwidth / 4096));
+        c.array = key.first;
+        c.bank = key.second;
+        cell_of_bank[key] = nl.num_cells();
+        nl.cells.push_back(c);
+    }
+
+    // Controller cell (FSM).
+    Cell fsm;
+    fsm.kind = CellKind::Control;
+    fsm.area = 2;
+    const int fsm_cell = nl.num_cells();
+    nl.cells.push_back(fsm);
+
+    // --- nets ----------------------------------------------------------------
+    std::map<std::pair<int, int>, int> producer_of_pin;
+    for (const hls::ElabEdge& e : elab.edges)
+        producer_of_pin[{e.dst, e.operand_index}] = e.src;
+
+    // Data nets: one per driving hardware op, fanning out to the units that
+    // consume it (possibly through cast wiring).
+    struct NetAccum {
+        std::set<int> sinks;
+        double toggles = 0.0;
+        int bits = 1;
+    };
+    std::map<int, NetAccum> net_of_driver; // driver cell -> accum
+
+    auto unit_cell_of_op = [&](int op_id) {
+        const int u = binding.unit_of_op[static_cast<std::size_t>(op_id)];
+        return u < 0 ? -1 : cell_of_unit[static_cast<std::size_t>(u)];
+    };
+
+    for (const hls::ElabEdge& e : elab.edges) {
+        const int dst_cell = unit_cell_of_op(e.dst);
+        if (dst_cell < 0) continue;
+        const int src_op =
+            hw_source(fn, elab, binding, producer_of_pin, e.src);
+        if (src_op < 0) continue;
+        const int src_cell = unit_cell_of_op(src_op);
+        if (src_cell < 0 || src_cell == dst_cell) continue;
+        NetAccum& acc = net_of_driver[src_cell];
+        acc.sinks.insert(dst_cell);
+        const hls::ElabOp& sop = elab.ops[static_cast<std::size_t>(src_op)];
+        acc.bits = std::max(acc.bits, sop.bitwidth);
+        if (acc.toggles == 0.0) acc.toggles = oracle.produced(src_op).sa;
+    }
+
+    // Memory nets: store unit -> bank cell, bank cell -> load unit.
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        const hls::ElabOp& op = elab.ops[static_cast<std::size_t>(o)];
+        if (op.op != ir::Opcode::Load && op.op != ir::Opcode::Store) continue;
+        const int banks = elab.directives.banks_of(op.array);
+        const int bank_cell =
+            cell_of_bank.at({op.array, hls::bank_of(op.replica, banks)});
+        const int unit_cell = unit_cell_of_op(o);
+        if (unit_cell < 0) continue;
+        const int driver = op.op == ir::Opcode::Store ? unit_cell : bank_cell;
+        const int sink = op.op == ir::Opcode::Store ? bank_cell : unit_cell;
+        NetAccum& acc = net_of_driver[driver];
+        acc.sinks.insert(sink);
+        acc.bits = std::max(acc.bits, op.bitwidth);
+        acc.toggles += oracle.produced(o).sa;
+    }
+
+    // Control net: FSM drives every unit's enable.
+    {
+        NetAccum& acc = net_of_driver[fsm_cell];
+        for (int c : cell_of_unit)
+            if (c >= 0) acc.sinks.insert(c);
+        acc.bits = 4;
+        acc.toggles = 2.0; // a couple of state bits flip per cycle
+    }
+
+    for (auto& [driver, acc] : net_of_driver) {
+        if (acc.sinks.empty()) continue;
+        Net n;
+        n.driver = driver;
+        n.sinks.assign(acc.sinks.begin(), acc.sinks.end());
+        n.toggles_per_cycle = acc.toggles;
+        n.bits = acc.bits;
+        nl.nets.push_back(std::move(n));
+    }
+    return nl;
+}
+
+} // namespace powergear::fpga

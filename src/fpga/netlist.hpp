@@ -1,0 +1,53 @@
+// Physical netlist expansion.
+//
+// The synthetic-board power flow needs a gate/unit-level netlist with real
+// connectivity and per-net signal activity — the quantities Eq. (1) sums
+// over. Cells are the bound functional units, the memory banks, and the
+// controller; nets connect driver cells to sink cells with a toggle rate
+// (bits flipped per cycle) extracted from the simulation traces. Nothing
+// here is visible to the estimation models: capacitances arise downstream
+// from placement, which is exactly why learned models must infer them
+// statistically, as on a real board.
+#pragma once
+
+#include <vector>
+
+#include "hls/binding.hpp"
+#include "hls/elaborate.hpp"
+#include "hls/scheduler.hpp"
+#include "sim/activity.hpp"
+
+namespace powergear::fpga {
+
+/// Cell kinds with distinct physical/pin characteristics.
+enum class CellKind : std::uint8_t { Logic, Dsp, MemBank, Control };
+
+struct Cell {
+    CellKind kind = CellKind::Logic;
+    int area = 1;       ///< placement sites occupied (relative)
+    int unit = -1;      ///< originating functional unit (logic/dsp)
+    int array = -1;     ///< originating array (memory banks)
+    int bank = 0;
+    bool sequential = true; ///< clocked (draws clock-tree power)
+};
+
+struct Net {
+    int driver = -1;
+    std::vector<int> sinks;
+    double toggles_per_cycle = 0.0; ///< total bits flipped per cycle (alpha*bits)
+    int bits = 1;
+};
+
+struct Netlist {
+    std::vector<Cell> cells;
+    std::vector<Net> nets;
+
+    int num_cells() const { return static_cast<int>(cells.size()); }
+};
+
+/// Expand the bound design into a netlist with trace-accurate activities.
+Netlist build_netlist(const ir::Function& fn, const hls::ElabGraph& elab,
+                      const hls::Binding& binding,
+                      const sim::ActivityOracle& oracle);
+
+} // namespace powergear::fpga

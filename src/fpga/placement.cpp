@@ -1,0 +1,104 @@
+#include "fpga/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace powergear::fpga {
+
+double net_hpwl(const Netlist& nl, const Placement& p, const Net& net) {
+    (void)nl;
+    int minx = p.pos[static_cast<std::size_t>(net.driver)].first;
+    int maxx = minx;
+    int miny = p.pos[static_cast<std::size_t>(net.driver)].second;
+    int maxy = miny;
+    for (int s : net.sinks) {
+        const auto [x, y] = p.pos[static_cast<std::size_t>(s)];
+        minx = std::min(minx, x);
+        maxx = std::max(maxx, x);
+        miny = std::min(miny, y);
+        maxy = std::max(maxy, y);
+    }
+    return static_cast<double>(maxx - minx) + static_cast<double>(maxy - miny);
+}
+
+Placement place(const Netlist& nl, const PlacementOptions& opts) {
+    Placement p;
+    const int n = nl.num_cells();
+    // Side proportional to sqrt of total area, with slack for routability.
+    int total_area = 0;
+    for (const Cell& c : nl.cells) total_area += c.area;
+    const int side = std::max(
+        2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(total_area) * 1.8))));
+    p.grid_w = side;
+    p.grid_h = side;
+    p.pos.resize(static_cast<std::size_t>(n));
+
+    util::Rng rng(opts.seed);
+    // Initial placement: shuffled scan order.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    for (int i = 0; i < n; ++i) {
+        const int slot = static_cast<int>(
+            (static_cast<std::int64_t>(i) * side * side) / std::max(1, n));
+        p.pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = {
+            slot % side, slot / side};
+    }
+
+    // Incident nets per cell for delta evaluation.
+    std::vector<std::vector<int>> nets_of_cell(static_cast<std::size_t>(n));
+    for (int k = 0; k < static_cast<int>(nl.nets.size()); ++k) {
+        const Net& net = nl.nets[static_cast<std::size_t>(k)];
+        nets_of_cell[static_cast<std::size_t>(net.driver)].push_back(k);
+        for (int s : net.sinks)
+            nets_of_cell[static_cast<std::size_t>(s)].push_back(k);
+    }
+
+    auto cost_around = [&](int a, int b) {
+        double c = 0.0;
+        for (int k : nets_of_cell[static_cast<std::size_t>(a)])
+            c += net_hpwl(nl, p, nl.nets[static_cast<std::size_t>(k)]);
+        for (int k : nets_of_cell[static_cast<std::size_t>(b)]) {
+            // Avoid double counting nets touching both cells.
+            bool shared = false;
+            for (int ka : nets_of_cell[static_cast<std::size_t>(a)])
+                if (ka == k) {
+                    shared = true;
+                    break;
+                }
+            if (!shared) c += net_hpwl(nl, p, nl.nets[static_cast<std::size_t>(k)]);
+        }
+        return c;
+    };
+
+    const std::int64_t total_moves =
+        static_cast<std::int64_t>(opts.moves_per_cell) * std::max(1, n);
+    double temp = opts.initial_temp;
+    const double cooling =
+        total_moves > 0 ? std::pow(0.01 / opts.initial_temp,
+                                   1.0 / static_cast<double>(total_moves))
+                        : 1.0;
+
+    for (std::int64_t m = 0; m < total_moves && n >= 2; ++m) {
+        const int a = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        int b = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (a == b) b = (b + 1) % n;
+        const double before = cost_around(a, b);
+        std::swap(p.pos[static_cast<std::size_t>(a)], p.pos[static_cast<std::size_t>(b)]);
+        const double after = cost_around(a, b);
+        const double delta = after - before;
+        if (delta > 0.0 && rng.next_double() >= std::exp(-delta / std::max(1e-9, temp)))
+            std::swap(p.pos[static_cast<std::size_t>(a)],
+                      p.pos[static_cast<std::size_t>(b)]); // reject
+        temp *= cooling;
+        ++p.moves_evaluated;
+    }
+
+    p.total_hpwl = 0.0;
+    for (const Net& net : nl.nets) p.total_hpwl += net_hpwl(nl, p, net);
+    return p;
+}
+
+} // namespace powergear::fpga

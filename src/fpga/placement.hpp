@@ -1,0 +1,37 @@
+// Grid placement by simulated annealing.
+//
+// Stands in for the FPGA implementation flow's NP-complete placement step:
+// it is the source of per-net wirelength (hence interconnect capacitance in
+// the ground-truth power model) and of the implementation-flow runtime the
+// Vivado-like baseline must pay — the origin of Table I's measured speedup.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fpga/netlist.hpp"
+
+namespace powergear::fpga {
+
+struct Placement {
+    int grid_w = 0;
+    int grid_h = 0;
+    std::vector<std::pair<int, int>> pos; ///< per cell (x, y)
+    double total_hpwl = 0.0;
+    std::int64_t moves_evaluated = 0;
+};
+
+struct PlacementOptions {
+    int moves_per_cell = 150;  ///< annealing effort
+    std::uint64_t seed = 7;
+    double initial_temp = 4.0;
+};
+
+/// Half-perimeter wirelength of one net under a placement.
+double net_hpwl(const Netlist& nl, const Placement& p, const Net& net);
+
+/// Anneal a placement. Deterministic for a fixed seed.
+Placement place(const Netlist& nl, const PlacementOptions& opts = {});
+
+} // namespace powergear::fpga

@@ -1,0 +1,51 @@
+#include "fpga/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powergear::fpga {
+
+PowerBreakdown compute_power(const Netlist& nl, const Placement& p,
+                             const hls::HlsReport& report,
+                             const PowerModelParams& params,
+                             const RoutingResult* routing) {
+    PowerBreakdown pw;
+    const double v2f = params.vdd * params.vdd * params.freq_hz;
+
+    for (std::size_t n = 0; n < nl.nets.size(); ++n) {
+        const Net& net = nl.nets[n];
+        const Cell& driver = nl.cells[static_cast<std::size_t>(net.driver)];
+        double kind_scale = 1.0;
+        if (driver.kind == CellKind::Dsp) kind_scale = params.kind_scale_dsp;
+        if (driver.kind == CellKind::MemBank) kind_scale = params.kind_scale_mem;
+
+        const double wl =
+            routing ? routing->net_wirelength[n] : net_hpwl(nl, p, net);
+        const double cap =
+            kind_scale * (params.cap_base + params.cap_per_wl * wl +
+                          params.cap_per_fanout *
+                              static_cast<double>(net.sinks.size()));
+        // toggles_per_cycle already aggregates alpha over the net's bits.
+        pw.dynamic_w += net.toggles_per_cycle * cap * v2f;
+        pw.dynamic_w += net.toggles_per_cycle * params.internal_per_toggle * v2f;
+    }
+
+    int seq_cells = 0;
+    for (const Cell& c : nl.cells)
+        if (c.sequential) ++seq_cells;
+    pw.clock_w = params.clock_per_seq_cell * static_cast<double>(seq_cells) *
+                 (params.freq_hz / 1e8);
+
+    if (params.power_gating) {
+        pw.static_w = params.static_base +
+                      params.static_per_lut * report.lut +
+                      params.static_per_ff * report.ff +
+                      params.static_per_dsp * report.dsp +
+                      params.static_per_bram * report.bram;
+    } else {
+        pw.static_w = params.full_device_static;
+    }
+    return pw;
+}
+
+} // namespace powergear::fpga

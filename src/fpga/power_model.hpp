@@ -1,0 +1,56 @@
+// Analytical power computation over a placed netlist (Eq. 1).
+//
+// Dynamic power sums alpha_i * C_i * V^2 * f over nets, where C_i combines a
+// base pin capacitance, a wirelength term from the placement, and a fanout
+// term; driver cell kinds (DSP, BRAM column routes) scale capacitance the
+// way heterogeneous FPGA routing does. Static power models UltraScale-style
+// automatic power gating: unused hard blocks draw nothing beyond the device
+// base, so static depends on utilized resources.
+#pragma once
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/routing.hpp"
+#include "hls/report.hpp"
+
+namespace powergear::fpga {
+
+struct PowerBreakdown {
+    double dynamic_w = 0.0; ///< signal + logic-internal power
+    double clock_w = 0.0;   ///< clock-tree power
+    double static_w = 0.0;  ///< leakage (power-gating aware)
+
+    double total() const { return dynamic_w + clock_w + static_w; }
+    /// The paper reports "dynamic power" = everything that scales with
+    /// activity, i.e. signals + clock.
+    double dynamic_total() const { return dynamic_w + clock_w; }
+};
+
+struct PowerModelParams {
+    double vdd = 0.85;             ///< core supply (V)
+    double freq_hz = 1e8;          ///< 100 MHz, as in the paper's setup
+    double cap_base = 6.0e-12;     ///< per-net pin capacitance (F)
+    double cap_per_wl = 3.0e-12;   ///< per grid-unit wire capacitance (F)
+    double cap_per_fanout = 1.5e-12;
+    double kind_scale_dsp = 1.5;   ///< DSP column routes are longer
+    double kind_scale_mem = 1.8;   ///< BRAM column routes
+    double internal_per_toggle = 3.0e-12; ///< cell-internal short-circuit term
+    double clock_per_seq_cell = 9.0e-4;   ///< W per clocked cell at 100 MHz
+    double static_base = 0.35;     ///< device leakage floor (W)
+    double static_per_lut = 1.6e-5;
+    double static_per_ff = 0.6e-5;
+    double static_per_dsp = 1.1e-3;
+    double static_per_bram = 2.2e-3;
+    bool power_gating = true;      ///< false: full-device static regardless of use
+    double full_device_static = 1.05; ///< static when gating is ignored (W)
+};
+
+/// Evaluate the power model on a placed netlist plus the HLS resource view.
+/// When `routing` is supplied, per-net capacitance uses routed wirelength
+/// (>= HPWL, congestion-aware) instead of the HPWL bound.
+PowerBreakdown compute_power(const Netlist& nl, const Placement& p,
+                             const hls::HlsReport& report,
+                             const PowerModelParams& params = {},
+                             const RoutingResult* routing = nullptr);
+
+} // namespace powergear::fpga

@@ -1,0 +1,166 @@
+#include "fpga/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powergear::fpga {
+
+namespace {
+
+/// Channel usage maps: horizontal edge (x,y)->(x+1,y) and vertical edge
+/// (x,y)->(x,y+1).
+struct Channels {
+    int w = 0, h = 0;
+    std::vector<int> hor, ver;
+
+    Channels(int width, int height)
+        : w(width), h(height),
+          hor(static_cast<std::size_t>(std::max(0, (width - 1) * height)), 0),
+          ver(static_cast<std::size_t>(std::max(0, width * (height - 1))), 0) {}
+
+    int& hor_at(int x, int y) {
+        return hor[static_cast<std::size_t>(y * (w - 1) + x)];
+    }
+    int& ver_at(int x, int y) {
+        return ver[static_cast<std::size_t>(y * w + x)];
+    }
+    int hor_at(int x, int y) const {
+        return hor[static_cast<std::size_t>(y * (w - 1) + x)];
+    }
+    int ver_at(int x, int y) const {
+        return ver[static_cast<std::size_t>(y * w + x)];
+    }
+};
+
+/// Walk the L-shaped path from (x0,y0) to (x1,y1); `hv` routes horizontal
+/// first. Calls fn(is_horizontal, x, y) per channel edge crossed.
+template <typename Fn>
+void walk_l_path(int x0, int y0, int x1, int y1, bool hv, Fn&& fn) {
+    if (hv) {
+        for (int x = std::min(x0, x1); x < std::max(x0, x1); ++x) fn(true, x, y0);
+        for (int y = std::min(y0, y1); y < std::max(y0, y1); ++y) fn(false, x1, y);
+    } else {
+        for (int y = std::min(y0, y1); y < std::max(y0, y1); ++y) fn(false, x0, y);
+        for (int x = std::min(x0, x1); x < std::max(x0, x1); ++x) fn(true, x, y1);
+    }
+}
+
+} // namespace
+
+RoutingResult route(const Netlist& nl, const Placement& p,
+                    const RoutingOptions& opts) {
+    RoutingResult res;
+    res.net_wirelength.assign(nl.nets.size(), 0.0);
+    if (p.grid_w < 2 || p.grid_h < 2) {
+        // Degenerate grid: all cells co-located, zero wire.
+        return res;
+    }
+
+    Channels usage(p.grid_w, p.grid_h);
+
+    // Per-net routed segments: each sink connects via an L-route from the
+    // nearest point already on the net's tree (greedy Steiner heuristic —
+    // real routers share trunks, so per-sink driver routes would overcount
+    // wirelength and hence capacitance).
+    struct Segment {
+        int x0, y0, x1, y1;
+        bool hv;
+    };
+    std::vector<std::vector<Segment>> segments(nl.nets.size());
+
+    auto manhattan = [](std::pair<int, int> a, std::pair<int, int> b) {
+        return std::abs(a.first - b.first) + std::abs(a.second - b.second);
+    };
+
+    // Commit pass.
+    for (std::size_t n = 0; n < nl.nets.size(); ++n) {
+        const Net& net = nl.nets[n];
+        std::vector<std::pair<int, int>> tree = {
+            p.pos[static_cast<std::size_t>(net.driver)]};
+
+        // Visit sinks nearest-first so trunks form early and get reused.
+        std::vector<int> order(net.sinks.size());
+        for (std::size_t s = 0; s < net.sinks.size(); ++s)
+            order[s] = static_cast<int>(s);
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            return manhattan(tree[0], p.pos[static_cast<std::size_t>(net.sinks[
+                       static_cast<std::size_t>(a)])]) <
+                   manhattan(tree[0], p.pos[static_cast<std::size_t>(net.sinks[
+                       static_cast<std::size_t>(b)])]);
+        });
+
+        for (int si : order) {
+            const auto sink =
+                p.pos[static_cast<std::size_t>(net.sinks[static_cast<std::size_t>(si)])];
+            // Nearest tree point.
+            std::pair<int, int> from = tree[0];
+            int best = manhattan(from, sink);
+            for (const auto& pt : tree) {
+                const int d = manhattan(pt, sink);
+                if (d < best) {
+                    best = d;
+                    from = pt;
+                }
+            }
+            // Less-congested bend.
+            double cost_hv = 0.0, cost_vh = 0.0;
+            walk_l_path(from.first, from.second, sink.first, sink.second, true,
+                        [&](bool horiz, int x, int y) {
+                            cost_hv += horiz ? usage.hor_at(x, y) : usage.ver_at(x, y);
+                        });
+            walk_l_path(from.first, from.second, sink.first, sink.second, false,
+                        [&](bool horiz, int x, int y) {
+                            cost_vh += horiz ? usage.hor_at(x, y) : usage.ver_at(x, y);
+                        });
+            const bool hv = cost_hv <= cost_vh;
+            walk_l_path(from.first, from.second, sink.first, sink.second, hv,
+                        [&](bool horiz, int x, int y) {
+                            if (horiz)
+                                ++usage.hor_at(x, y);
+                            else
+                                ++usage.ver_at(x, y);
+                        });
+            segments[n].push_back(
+                {from.first, from.second, sink.first, sink.second, hv});
+            tree.push_back(sink);
+            // The bend corner is also a reusable tree point.
+            tree.push_back(hv ? std::pair<int, int>{sink.first, from.second}
+                              : std::pair<int, int>{from.first, sink.second});
+        }
+    }
+
+    // Evaluation pass: wirelength with overflow detours, congestion summary.
+    const double cap = std::max(1, opts.channel_capacity);
+    for (std::size_t n = 0; n < nl.nets.size(); ++n) {
+        double wl = 0.0;
+        for (const Segment& seg : segments[n]) {
+            walk_l_path(seg.x0, seg.y0, seg.x1, seg.y1, seg.hv,
+                        [&](bool horiz, int x, int y) {
+                            const int u =
+                                horiz ? usage.hor_at(x, y) : usage.ver_at(x, y);
+                            wl += 1.0;
+                            if (u > opts.channel_capacity)
+                                wl += opts.overflow_penalty *
+                                      static_cast<double>(u - opts.channel_capacity);
+                        });
+        }
+        res.net_wirelength[n] = wl;
+        res.total_wirelength += wl;
+    }
+
+    for (int v : usage.hor) {
+        if (v > opts.channel_capacity) ++res.overflowed_edges;
+        res.max_congestion = std::max(res.max_congestion, v / cap);
+        if (v > opts.channel_capacity)
+            res.congestion_cost += v - opts.channel_capacity;
+    }
+    for (int v : usage.ver) {
+        if (v > opts.channel_capacity) ++res.overflowed_edges;
+        res.max_congestion = std::max(res.max_congestion, v / cap);
+        if (v > opts.channel_capacity)
+            res.congestion_cost += v - opts.channel_capacity;
+    }
+    return res;
+}
+
+} // namespace powergear::fpga

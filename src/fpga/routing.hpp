@@ -1,0 +1,40 @@
+// Global routing over the placement grid.
+//
+// Completes the implementation-flow substrate: every net is routed as a set
+// of L-shaped (single-bend) segments from driver to each sink, choosing per
+// connection the bend with less congestion; channel usage accumulates in a
+// congestion map. Outputs per-net routed wirelength (>= HPWL, growing with
+// detour pressure) and a congestion summary that degrades the achieved clock
+// estimate — the physical effects the ground-truth power model and the
+// Vivado-like baseline's runtime both inherit from real flows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+
+namespace powergear::fpga {
+
+struct RoutingOptions {
+    int channel_capacity = 8;   ///< tracks per grid edge before overflow
+    double overflow_penalty = 0.35; ///< extra wirelength per overflowed track
+};
+
+struct RoutingResult {
+    std::vector<double> net_wirelength; ///< routed length per net (grid units)
+    double total_wirelength = 0.0;
+    int overflowed_edges = 0;    ///< channel segments above capacity
+    double max_congestion = 0.0; ///< peak usage / capacity
+    double congestion_cost = 0.0;
+
+    /// Clock-period degradation factor (>= 1) from congestion hot spots.
+    double timing_derate() const { return 1.0 + 0.08 * std::max(0.0, max_congestion - 1.0); }
+};
+
+/// Route all nets of a placed netlist. Deterministic.
+RoutingResult route(const Netlist& nl, const Placement& p,
+                    const RoutingOptions& opts = {});
+
+} // namespace powergear::fpga

@@ -1,0 +1,126 @@
+#include "fpga/vivado_like.hpp"
+
+#include <cmath>
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/routing.hpp"
+#include "util/timer.hpp"
+
+namespace powergear::fpga {
+
+namespace {
+
+/// Vector-based gate-level simulation stand-in: the .saif generation step.
+/// Every net's driver waveform is replayed bit-serially (a gate-level
+/// simulator evaluates each net every cycle), producing exact per-net toggle
+/// counts. This is the dominant runtime cost of the Vivado estimation flow,
+/// exactly as the paper describes for the real tool.
+double gate_level_saif(const ir::Function& fn, const hls::ElabGraph& elab,
+                       const hls::Binding& binding,
+                       const sim::ActivityOracle& oracle) {
+    double total_toggles = 0.0;
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        if (binding.unit_of_op[static_cast<std::size_t>(o)] < 0) continue;
+        const std::vector<std::uint32_t> wave = oracle.produced_sequence(o);
+        const int bits = elab.ops[static_cast<std::size_t>(o)].bitwidth;
+        std::uint32_t prev = wave.empty() ? 0u : wave.front();
+        for (std::size_t t = 1; t < wave.size(); ++t) {
+            const std::uint32_t cur = wave[t];
+            for (int b = 0; b < bits; ++b) // bit-serial net evaluation
+                total_toggles += static_cast<double>(((cur ^ prev) >> b) & 1u);
+            prev = cur;
+        }
+    }
+    (void)fn;
+    return total_toggles;
+}
+
+} // namespace
+
+VivadoEstimate vivado_estimate(const ir::Function& fn, const hls::ElabGraph& elab,
+                               const hls::Binding& binding,
+                               const sim::ActivityOracle& oracle,
+                               const hls::HlsReport& report,
+                               const VivadoOptions& opts) {
+    util::Timer timer;
+
+    // Step 1: vector-based simulation for activity annotation (.saif).
+    const double saif_toggles = gate_level_saif(fn, elab, binding, oracle);
+    (void)saif_toggles; // per-net activities below come from the same traces
+
+    // Step 2: implementation flow — the estimator cannot skip placement; its
+    // report is only defined on an implemented design.
+    const Netlist nl = build_netlist(fn, elab, binding, oracle);
+    PlacementOptions popts;
+    popts.moves_per_cell = opts.place_moves_per_cell;
+    popts.seed = opts.place_seed;
+    const Placement placed = place(nl, popts);
+    const RoutingResult routed = route(nl, placed); // flow must route too
+    (void)routed; // ...but the report uses type tables, not real wirelength
+
+    // Per-resource-type capacitance table with saturating activity transfer;
+    // no wirelength/fanout terms (the model deficiencies documented above).
+    const double vdd = 0.85, freq = 1e8;
+    const double v2f = vdd * vdd * freq;
+    double dynamic = 0.0;
+    for (const Net& net : nl.nets) {
+        const Cell& driver = nl.cells[static_cast<std::size_t>(net.driver)];
+        double cap = 15e-12;
+        if (driver.kind == CellKind::Dsp) cap = 22e-12;
+        if (driver.kind == CellKind::MemBank) cap = 26e-12;
+        // LUT-internal nets are invisible to the RTL-level .saif; the tool
+        // falls back to a default toggle rate for them (a documented source
+        // of workload-dependent error the linear recalibration cannot fix).
+        const double observed =
+            std::pow(std::max(0.0, net.toggles_per_cycle), opts.activity_exponent);
+        const double activity = driver.kind == CellKind::Logic
+                                    ? opts.default_logic_toggle * net.bits
+                                    : observed;
+        dynamic += activity * cap * v2f;
+    }
+    int seq_cells = 0;
+    for (const Cell& c : nl.cells)
+        if (c.sequential) ++seq_cells;
+    dynamic += 9.0e-4 * static_cast<double>(seq_cells);
+
+    // Static: full-device leakage — power gating on unused blocks ignored.
+    PowerModelParams ungated;
+    ungated.power_gating = false;
+    const double stat = ungated.full_device_static +
+                        0.5 * ungated.static_per_lut * report.lut;
+
+    VivadoEstimate est;
+    est.dynamic_w = dynamic;
+    est.total_w = dynamic + stat;
+    est.runtime_s = timer.seconds();
+    return est;
+}
+
+void LinearCalibration::fit(const std::vector<double>& estimates,
+                            const std::vector<double>& measurements) {
+    const std::size_t n = std::min(estimates.size(), measurements.size());
+    if (n < 2) {
+        a = 1.0;
+        b = 0.0;
+        return;
+    }
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += estimates[i];
+        sy += measurements[i];
+        sxx += estimates[i] * estimates[i];
+        sxy += estimates[i] * measurements[i];
+    }
+    const double nn = static_cast<double>(n);
+    const double denom = nn * sxx - sx * sx;
+    if (std::abs(denom) < 1e-12) {
+        a = 1.0;
+        b = 0.0;
+        return;
+    }
+    a = (nn * sxy - sx * sy) / denom;
+    b = (sy - a * sx) / nn;
+}
+
+} // namespace powergear::fpga

@@ -1,0 +1,51 @@
+// Gradient-boosted regression trees (least-squares boosting), plus the
+// validation-driven hyperparameter search the paper applies to HL-Pow
+// (tree size in [10,500], depth in [5,10], min samples per leaf in [2,8],
+// learning rate in {0.005, 0.01, 0.05}).
+#pragma once
+
+#include <vector>
+
+#include "gbdt/tree.hpp"
+#include "util/rng.hpp"
+
+namespace powergear::gbdt {
+
+struct GbdtConfig {
+    int num_trees = 150;
+    int max_depth = 6;
+    int min_samples_leaf = 2;
+    double learning_rate = 0.05;
+};
+
+class Gbdt {
+public:
+    void fit(const std::vector<std::vector<float>>& X,
+             const std::vector<float>& y, const GbdtConfig& cfg);
+
+    float predict(const std::vector<float>& x) const;
+
+    int num_trees() const { return static_cast<int>(trees_.size()); }
+    const GbdtConfig& config() const { return cfg_; }
+
+private:
+    GbdtConfig cfg_;
+    float base_ = 0.0f;
+    std::vector<RegressionTree> trees_;
+};
+
+/// Grid entry for tuning.
+struct GbdtGrid {
+    std::vector<int> num_trees = {50, 150, 300};
+    std::vector<int> max_depth = {5, 8, 10};
+    std::vector<int> min_samples_leaf = {2, 8};
+    std::vector<double> learning_rate = {0.01, 0.05};
+};
+
+/// Fit with hyperparameter tuning on a held-out validation split (MAPE
+/// criterion); returns the model refit on all data with the best config.
+Gbdt fit_with_tuning(const std::vector<std::vector<float>>& X,
+                     const std::vector<float>& y, const GbdtGrid& grid,
+                     double validation_fraction, util::Rng& rng);
+
+} // namespace powergear::gbdt

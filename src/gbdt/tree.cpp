@@ -1,0 +1,134 @@
+#include "gbdt/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace powergear::gbdt {
+
+namespace {
+
+double mean_of(const std::vector<float>& y, const std::vector<int>& idx) {
+    double s = 0.0;
+    for (int i : idx) s += y[static_cast<std::size_t>(i)];
+    return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+} // namespace
+
+void RegressionTree::fit(const std::vector<std::vector<float>>& X,
+                         const std::vector<float>& y,
+                         const std::vector<int>& idx, const TreeConfig& cfg) {
+    if (X.size() != y.size() || idx.empty())
+        throw std::invalid_argument("RegressionTree::fit: bad inputs");
+    nodes_.clear();
+    build(X, y, idx, 0, cfg);
+}
+
+int RegressionTree::build(const std::vector<std::vector<float>>& X,
+                          const std::vector<float>& y, std::vector<int> idx,
+                          int depth, const TreeConfig& cfg) {
+    const int self = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[static_cast<std::size_t>(self)].value =
+        static_cast<float>(mean_of(y, idx));
+
+    const int n = static_cast<int>(idx.size());
+    if (depth >= cfg.max_depth || n < 2 * cfg.min_samples_leaf) return self;
+
+    const int dims = static_cast<int>(X[static_cast<std::size_t>(idx[0])].size());
+    double best_gain = 1e-12;
+    int best_feat = -1;
+    float best_thresh = 0.0f;
+
+    // Total sums for SSE-reduction computation.
+    double total_sum = 0.0, total_sq = 0.0;
+    for (int i : idx) {
+        const double v = y[static_cast<std::size_t>(i)];
+        total_sum += v;
+        total_sq += v * v;
+    }
+    const double parent_sse =
+        total_sq - total_sum * total_sum / static_cast<double>(n);
+
+    std::vector<int> sorted = idx;
+    for (int f = 0; f < dims; ++f) {
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+            return X[static_cast<std::size_t>(a)][static_cast<std::size_t>(f)] <
+                   X[static_cast<std::size_t>(b)][static_cast<std::size_t>(f)];
+        });
+        double left_sum = 0.0, left_sq = 0.0;
+        for (int k = 0; k < n - 1; ++k) {
+            const double v = y[static_cast<std::size_t>(sorted[static_cast<std::size_t>(k)])];
+            left_sum += v;
+            left_sq += v * v;
+            const float xv = X[static_cast<std::size_t>(
+                sorted[static_cast<std::size_t>(k)])][static_cast<std::size_t>(f)];
+            const float xn = X[static_cast<std::size_t>(
+                sorted[static_cast<std::size_t>(k + 1)])][static_cast<std::size_t>(f)];
+            if (xv == xn) continue; // can't split between equal values
+            const int nl = k + 1, nr = n - nl;
+            if (nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf) continue;
+            const double right_sum = total_sum - left_sum;
+            const double right_sq = total_sq - left_sq;
+            const double sse =
+                (left_sq - left_sum * left_sum / nl) +
+                (right_sq - right_sum * right_sum / nr);
+            const double gain = parent_sse - sse;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feat = f;
+                best_thresh = 0.5f * (xv + xn);
+            }
+        }
+    }
+    if (best_feat < 0) return self;
+
+    std::vector<int> left_idx, right_idx;
+    for (int i : idx) {
+        if (X[static_cast<std::size_t>(i)][static_cast<std::size_t>(best_feat)] <=
+            best_thresh)
+            left_idx.push_back(i);
+        else
+            right_idx.push_back(i);
+    }
+    if (left_idx.empty() || right_idx.empty()) return self;
+
+    nodes_[static_cast<std::size_t>(self)].feature = best_feat;
+    nodes_[static_cast<std::size_t>(self)].threshold = best_thresh;
+    const int l = build(X, y, std::move(left_idx), depth + 1, cfg);
+    const int r = build(X, y, std::move(right_idx), depth + 1, cfg);
+    nodes_[static_cast<std::size_t>(self)].left = l;
+    nodes_[static_cast<std::size_t>(self)].right = r;
+    return self;
+}
+
+float RegressionTree::predict(const std::vector<float>& x) const {
+    if (nodes_.empty()) return 0.0f;
+    int cur = 0;
+    while (nodes_[static_cast<std::size_t>(cur)].feature >= 0) {
+        const Node& n = nodes_[static_cast<std::size_t>(cur)];
+        cur = x[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left
+                                                                    : n.right;
+    }
+    return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+int RegressionTree::depth() const {
+    // Depth via iterative DFS over the child links.
+    if (nodes_.empty()) return 0;
+    std::vector<std::pair<int, int>> stack{{0, 1}};
+    int maxd = 1;
+    while (!stack.empty()) {
+        auto [node, d] = stack.back();
+        stack.pop_back();
+        maxd = std::max(maxd, d);
+        const Node& n = nodes_[static_cast<std::size_t>(node)];
+        if (n.left >= 0) stack.push_back({n.left, d + 1});
+        if (n.right >= 0) stack.push_back({n.right, d + 1});
+    }
+    return maxd;
+}
+
+} // namespace powergear::gbdt

@@ -1,0 +1,41 @@
+// CART-style regression tree (exact greedy splits, SSE criterion) — the base
+// learner for the gradient-boosting model used by the HL-Pow baseline.
+#pragma once
+
+#include <vector>
+
+namespace powergear::gbdt {
+
+struct TreeConfig {
+    int max_depth = 6;
+    int min_samples_leaf = 2;
+};
+
+class RegressionTree {
+public:
+    /// Fit on rows X[idx] with targets y[idx].
+    void fit(const std::vector<std::vector<float>>& X, const std::vector<float>& y,
+             const std::vector<int>& idx, const TreeConfig& cfg);
+
+    float predict(const std::vector<float>& x) const;
+
+    int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    int depth() const;
+
+private:
+    struct Node {
+        int feature = -1; ///< -1 => leaf
+        float threshold = 0.0f;
+        int left = -1;
+        int right = -1;
+        float value = 0.0f;
+    };
+
+    int build(const std::vector<std::vector<float>>& X,
+              const std::vector<float>& y, std::vector<int> idx, int depth,
+              const TreeConfig& cfg);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace powergear::gbdt

@@ -1,0 +1,229 @@
+#include "gnn/convs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powergear::gnn {
+
+using graphgen::Graph;
+using nn::Tape;
+using nn::Tensor;
+
+GraphTensors GraphTensors::from(const Graph& g,
+                                const std::vector<double>& metadata) {
+    GraphTensors out;
+    out.num_nodes = g.num_nodes;
+    out.x = Tensor(g.num_nodes, g.node_dim);
+    for (int r = 0; r < g.num_nodes; ++r)
+        for (int c = 0; c < g.node_dim; ++c)
+            out.x.at(r, c) = g.node_feature(r, c);
+
+    out.metadata = Tensor(1, static_cast<int>(metadata.size()));
+    for (int c = 0; c < out.metadata.cols(); ++c)
+        out.metadata.at(0, c) =
+            static_cast<float>(std::log1p(std::max(0.0, metadata[static_cast<std::size_t>(c)])));
+
+    // Per-relation and flat edge views.
+    std::array<std::vector<std::array<float, Graph::kEdgeDim>>,
+               Graph::kNumRelations>
+        rel_feats;
+    std::vector<std::array<float, Graph::kEdgeDim>> flat_feats;
+    for (const Graph::Edge& e : g.edges) {
+        out.rel_src[static_cast<std::size_t>(e.relation)].push_back(e.src);
+        out.rel_dst[static_cast<std::size_t>(e.relation)].push_back(e.dst);
+        rel_feats[static_cast<std::size_t>(e.relation)].push_back(e.feat);
+        out.src.push_back(e.src);
+        out.dst.push_back(e.dst);
+        flat_feats.push_back(e.feat);
+    }
+    auto to_tensor = [](const std::vector<std::array<float, Graph::kEdgeDim>>& f) {
+        Tensor t(static_cast<int>(f.size()), Graph::kEdgeDim);
+        for (int r = 0; r < t.rows(); ++r)
+            for (int c = 0; c < Graph::kEdgeDim; ++c)
+                t.at(r, c) = f[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+        return t;
+    };
+    for (int rel = 0; rel < Graph::kNumRelations; ++rel)
+        out.rel_edge_feat[static_cast<std::size_t>(rel)] =
+            to_tensor(rel_feats[static_cast<std::size_t>(rel)]);
+    out.edge_feat = to_tensor(flat_feats);
+
+    // GCN view: symmetrized edges + self loops with 1/sqrt(d_u d_v) norms.
+    std::vector<int> deg(static_cast<std::size_t>(g.num_nodes), 1); // self loop
+    for (const Graph::Edge& e : g.edges) {
+        ++deg[static_cast<std::size_t>(e.src)];
+        ++deg[static_cast<std::size_t>(e.dst)];
+    }
+    auto push_gcn = [&](int s, int d) {
+        out.gcn_src.push_back(s);
+        out.gcn_dst.push_back(d);
+        out.gcn_norm.push_back(
+            1.0f / std::sqrt(static_cast<float>(deg[static_cast<std::size_t>(s)]) *
+                             static_cast<float>(deg[static_cast<std::size_t>(d)])));
+    };
+    for (const Graph::Edge& e : g.edges) {
+        push_gcn(e.src, e.dst);
+        push_gcn(e.dst, e.src);
+    }
+    for (int v = 0; v < g.num_nodes; ++v) push_gcn(v, v);
+
+    // In-degree for mean aggregation.
+    std::vector<int> indeg(static_cast<std::size_t>(g.num_nodes), 0);
+    for (const Graph::Edge& e : g.edges) ++indeg[static_cast<std::size_t>(e.dst)];
+    out.inv_in_degree.resize(static_cast<std::size_t>(g.num_nodes));
+    for (int v = 0; v < g.num_nodes; ++v)
+        out.inv_in_degree[static_cast<std::size_t>(v)] =
+            1.0f / static_cast<float>(std::max(1, indeg[static_cast<std::size_t>(v)]));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// HecConv
+// ---------------------------------------------------------------------------
+
+HecConv::HecConv(int in, int out, int edge_dim, bool edge_features,
+                 bool directed, bool heterogeneous, util::Rng& rng)
+    : edge_features_(edge_features), directed_(directed),
+      heterogeneous_(heterogeneous), w_v(in, out, rng),
+      w_e(Tensor::xavier(edge_features ? edge_dim : in, out, rng)) {
+    const int num_rel = heterogeneous ? Graph::kNumRelations : 1;
+    w_r.reserve(static_cast<std::size_t>(num_rel));
+    for (int r = 0; r < num_rel; ++r)
+        w_r.emplace_back(Tensor::xavier(out, out, rng));
+}
+
+int HecConv::forward(Tape& t, const GraphTensors& g, int h) {
+    int agg = -1;
+    const int num_rel = heterogeneous_ ? Graph::kNumRelations : 1;
+    for (int rel = 0; rel < num_rel; ++rel) {
+        const std::vector<int>& srcs = heterogeneous_
+                                           ? g.rel_src[static_cast<std::size_t>(rel)]
+                                           : g.src;
+        const std::vector<int>& dsts = heterogeneous_
+                                           ? g.rel_dst[static_cast<std::size_t>(rel)]
+                                           : g.dst;
+        if (srcs.empty()) continue;
+
+        int msg;
+        if (edge_features_) {
+            const Tensor& ef = heterogeneous_
+                                   ? g.rel_edge_feat[static_cast<std::size_t>(rel)]
+                                   : g.edge_feat;
+            msg = t.matmul(t.input(ef), t.param(&w_e));
+        } else {
+            // w/o e.f.: aggregate transformed neighbor embeddings instead.
+            msg = t.matmul(t.gather_rows(h, srcs), t.param(&w_e));
+        }
+        msg = t.matmul(msg, t.param(&w_r[static_cast<std::size_t>(rel)]));
+
+        int scattered = t.scatter_add_rows(msg, dsts, g.num_nodes);
+        if (!directed_) {
+            // w/o dir.: edges also deliver their message to the source side.
+            scattered =
+                t.add(scattered, t.scatter_add_rows(msg, srcs, g.num_nodes));
+        }
+        agg = agg < 0 ? scattered : t.add(agg, scattered);
+    }
+
+    int self = w_v.forward(t, h);
+    return t.relu(agg < 0 ? self : t.add(self, agg));
+}
+
+void HecConv::collect(std::vector<nn::Param*>& out) {
+    w_v.collect(out);
+    out.push_back(&w_e);
+    for (nn::Param& p : w_r) out.push_back(&p);
+}
+
+// ---------------------------------------------------------------------------
+// GcnConv
+// ---------------------------------------------------------------------------
+
+GcnConv::GcnConv(int in, int out, util::Rng& rng) : lin(in, out, rng) {}
+
+int GcnConv::forward(Tape& t, const GraphTensors& g, int h) {
+    const int hw = lin.forward(t, h);
+    const int gathered = t.gather_rows(hw, g.gcn_src);
+    const int weighted = t.scale_rows(gathered, g.gcn_norm);
+    return t.relu(t.scatter_add_rows(weighted, g.gcn_dst, g.num_nodes));
+}
+
+void GcnConv::collect(std::vector<nn::Param*>& out) { lin.collect(out); }
+
+// ---------------------------------------------------------------------------
+// SageConv
+// ---------------------------------------------------------------------------
+
+SageConv::SageConv(int in, int out, util::Rng& rng)
+    : w_self(in, out, rng), w_neigh(in, out, rng) {}
+
+int SageConv::forward(Tape& t, const GraphTensors& g, int h) {
+    int neigh = -1;
+    if (!g.src.empty()) {
+        const int gathered = t.gather_rows(h, g.src);
+        const int summed = t.scatter_add_rows(gathered, g.dst, g.num_nodes);
+        const int mean = t.scale_rows(summed, g.inv_in_degree);
+        neigh = w_neigh.forward(t, mean);
+    }
+    const int self = w_self.forward(t, h);
+    return t.relu(neigh < 0 ? self : t.add(self, neigh));
+}
+
+void SageConv::collect(std::vector<nn::Param*>& out) {
+    w_self.collect(out);
+    w_neigh.collect(out);
+}
+
+// ---------------------------------------------------------------------------
+// GraphConvLayer
+// ---------------------------------------------------------------------------
+
+GraphConvLayer::GraphConvLayer(int in, int out, util::Rng& rng)
+    : w_self(in, out, rng), w_neigh(in, out, rng) {}
+
+int GraphConvLayer::forward(Tape& t, const GraphTensors& g, int h) {
+    int neigh = -1;
+    if (!g.src.empty()) {
+        // Edge weight: source-side switching activity (first edge feature).
+        std::vector<float> weights(g.src.size());
+        for (std::size_t e = 0; e < g.src.size(); ++e)
+            weights[e] = g.edge_feat.at(static_cast<int>(e), 0);
+        const int gathered = t.gather_rows(h, g.src);
+        const int weighted = t.scale_rows(gathered, std::move(weights));
+        const int summed = t.scatter_add_rows(weighted, g.dst, g.num_nodes);
+        neigh = w_neigh.forward(t, summed);
+    }
+    const int self = w_self.forward(t, h);
+    return t.relu(neigh < 0 ? self : t.add(self, neigh));
+}
+
+void GraphConvLayer::collect(std::vector<nn::Param*>& out) {
+    w_self.collect(out);
+    w_neigh.collect(out);
+}
+
+// ---------------------------------------------------------------------------
+// GineConv
+// ---------------------------------------------------------------------------
+
+GineConv::GineConv(int in, int out, int edge_dim, util::Rng& rng)
+    : edge_lift(edge_dim, in, rng), mlp(in, out, out, rng) {}
+
+int GineConv::forward(Tape& t, const GraphTensors& g, int h) {
+    int pooled = -1;
+    if (!g.src.empty()) {
+        const int lifted = edge_lift.forward(t, t.input(g.edge_feat));
+        const int gathered = t.gather_rows(h, g.src);
+        const int msg = t.relu(t.add(gathered, lifted));
+        pooled = t.scatter_add_rows(msg, g.dst, g.num_nodes);
+    }
+    const int combined = pooled < 0 ? h : t.add(h, pooled); // eps = 0
+    return t.relu(mlp.forward(t, combined));
+}
+
+void GineConv::collect(std::vector<nn::Param*>& out) {
+    edge_lift.collect(out);
+    mlp.collect(out);
+}
+
+} // namespace powergear::gnn

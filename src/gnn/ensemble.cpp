@@ -1,0 +1,134 @@
+#include "gnn/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/layers.hpp"
+#include "util/rng.hpp"
+
+namespace powergear::gnn {
+
+namespace {
+
+/// Train one model on (train, val) index sets with best-on-validation
+/// snapshot selection.
+std::unique_ptr<PowerModel> train_member(
+    const std::vector<const GraphTensors*>& graphs,
+    const std::vector<float>& targets,
+    const std::vector<int>& train_idx, const std::vector<int>& val_idx,
+    const EnsembleConfig& cfg, std::uint64_t member_seed) {
+    ModelConfig mc = cfg.model;
+    mc.seed = member_seed;
+    auto model = std::make_unique<PowerModel>(mc);
+
+    std::vector<const GraphTensors*> train_g, val_g;
+    std::vector<float> train_y, val_y;
+    for (int i : train_idx) {
+        train_g.push_back(graphs[static_cast<std::size_t>(i)]);
+        train_y.push_back(targets[static_cast<std::size_t>(i)]);
+    }
+    for (int i : val_idx) {
+        val_g.push_back(graphs[static_cast<std::size_t>(i)]);
+        val_y.push_back(targets[static_cast<std::size_t>(i)]);
+    }
+
+    if (!train_y.empty()) {
+        double mean = 0.0;
+        for (float v : train_y) mean += v;
+        model->set_output_bias(static_cast<float>(mean / train_y.size()));
+    }
+
+    const std::vector<nn::Param*> params = model->params();
+    std::vector<nn::Tensor> best = nn::snapshot_params(params);
+    double best_val = val_g.empty()
+                          ? 0.0
+                          : model->evaluate_mape(val_g, val_y);
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        model->train_epoch(train_g, train_y, cfg.batch_size);
+        if (!val_g.empty() && (epoch % 5 == 4 || epoch == cfg.epochs - 1)) {
+            const double v = model->evaluate_mape(val_g, val_y);
+            if (v < best_val) {
+                best_val = v;
+                best = nn::snapshot_params(params);
+            }
+        }
+    }
+    if (!val_g.empty()) nn::restore_params(params, best);
+    return model;
+}
+
+} // namespace
+
+void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
+                   const std::vector<float>& targets,
+                   const EnsembleConfig& cfg) {
+    if (graphs.size() != targets.size() || graphs.size() < 2)
+        throw std::invalid_argument("Ensemble::fit: need >= 2 samples");
+    members_.clear();
+
+    const int n = static_cast<int>(graphs.size());
+    const int seeds = std::max(1, cfg.seeds);
+    for (int seed = 0; seed < seeds; ++seed) {
+        util::Rng rng(cfg.model.seed * 1000003ull +
+                      static_cast<std::uint64_t>(seed) * 9176ull + 11ull);
+        std::vector<int> order(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+        rng.shuffle(order);
+
+        const int folds = std::max(1, std::min(cfg.folds, n));
+        if (folds <= 1) {
+            // Single model: 20% validation split.
+            const int val_n = std::max(
+                1, static_cast<int>(std::lround(cfg.validation_fraction * n)));
+            std::vector<int> val_idx(order.begin(), order.begin() + val_n);
+            std::vector<int> train_idx(order.begin() + val_n, order.end());
+            if (train_idx.empty()) std::swap(train_idx, val_idx);
+            members_.push_back(train_member(graphs, targets, train_idx, val_idx,
+                                            cfg, cfg.model.seed + 7919ull * seed));
+            continue;
+        }
+        for (int fold = 0; fold < folds; ++fold) {
+            std::vector<int> train_idx, val_idx;
+            for (int i = 0; i < n; ++i) {
+                if (i % folds == fold)
+                    val_idx.push_back(order[static_cast<std::size_t>(i)]);
+                else
+                    train_idx.push_back(order[static_cast<std::size_t>(i)]);
+            }
+            members_.push_back(train_member(
+                graphs, targets, train_idx, val_idx, cfg,
+                cfg.model.seed + 7919ull * seed + 13ull * fold));
+        }
+    }
+}
+
+std::vector<PowerModel*> Ensemble::members() const {
+    std::vector<PowerModel*> out;
+    out.reserve(members_.size());
+    for (const auto& m : members_) out.push_back(m.get());
+    return out;
+}
+
+void Ensemble::adopt(std::vector<std::unique_ptr<PowerModel>> members) {
+    members_ = std::move(members);
+}
+
+float Ensemble::predict(const GraphTensors& g) const {
+    if (members_.empty()) throw std::logic_error("Ensemble::predict before fit");
+    double s = 0.0;
+    for (const auto& m : members_) s += m->predict(g);
+    return static_cast<float>(s / static_cast<double>(members_.size()));
+}
+
+double Ensemble::evaluate_mape(const std::vector<const GraphTensors*>& graphs,
+                               const std::vector<float>& targets) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const float p = predict(*graphs[i]);
+        s += std::abs(p - targets[i]) / std::max(1e-9f, std::abs(targets[i]));
+    }
+    return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());
+}
+
+} // namespace powergear::gnn

@@ -1,0 +1,48 @@
+// Ensemble training strategy (paper Sec. III-B, last paragraph): k-fold
+// cross-validation crossed with several random seeds generates different
+// train/validation partitions; one model is trained per (fold, seed) with
+// best-on-validation weight selection, and predictions are averaged.
+// folds <= 1 degrades to a single model with a 20% validation split (the
+// paper's "sgl." ablation and the baseline-GNN setting).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/model.hpp"
+
+namespace powergear::gnn {
+
+struct EnsembleConfig {
+    ModelConfig model;    ///< template; per-member seeds derive from it
+    int folds = 10;       ///< paper: 10
+    int seeds = 3;        ///< paper: 3
+    int epochs = 100;     ///< paper: 1200 (total) / 2400 (dynamic)
+    int batch_size = 32;  ///< paper: 128
+    double validation_fraction = 0.2; ///< used when folds <= 1
+};
+
+class Ensemble {
+public:
+    /// Train all members on the given samples (non-owning pointers).
+    void fit(const std::vector<const GraphTensors*>& graphs,
+             const std::vector<float>& targets, const EnsembleConfig& cfg);
+
+    /// Average member predictions.
+    float predict(const GraphTensors& g) const;
+
+    double evaluate_mape(const std::vector<const GraphTensors*>& graphs,
+                         const std::vector<float>& targets) const;
+
+    int num_members() const { return static_cast<int>(members_.size()); }
+
+    /// Non-owning member access (persistence, inspection).
+    std::vector<PowerModel*> members() const;
+    /// Replace the member set (used by gnn/serialize when loading).
+    void adopt(std::vector<std::unique_ptr<PowerModel>> members);
+
+private:
+    mutable std::vector<std::unique_ptr<PowerModel>> members_;
+};
+
+} // namespace powergear::gnn

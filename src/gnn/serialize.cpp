@@ -1,0 +1,137 @@
+#include "gnn/serialize.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace powergear::gnn {
+
+namespace {
+
+void write_config(std::ostream& os, const ModelConfig& c) {
+    os << "config " << static_cast<int>(c.kind) << ' ' << c.node_dim << ' '
+       << c.edge_dim << ' ' << c.metadata_dim << ' ' << c.hidden << ' '
+       << c.layers << ' ' << c.dropout << ' ' << c.learning_rate << ' '
+       << c.edge_features << ' ' << c.directed << ' ' << c.heterogeneous << ' '
+       << c.metadata << ' ' << c.jumping_knowledge << ' ' << c.seed << '\n';
+}
+
+ModelConfig read_config(std::istream& is) {
+    std::string tag;
+    is >> tag;
+    if (tag != "config") throw std::runtime_error("model load: expected 'config'");
+    ModelConfig c;
+    int kind = 0;
+    is >> kind >> c.node_dim >> c.edge_dim >> c.metadata_dim >> c.hidden >>
+        c.layers >> c.dropout >> c.learning_rate >> c.edge_features >>
+        c.directed >> c.heterogeneous >> c.metadata >> c.jumping_knowledge >>
+        c.seed;
+    if (!is) throw std::runtime_error("model load: truncated config");
+    if (kind < 0 || kind > static_cast<int>(ConvKind::Gine))
+        throw std::runtime_error("model load: bad conv kind");
+    c.kind = static_cast<ConvKind>(kind);
+    return c;
+}
+
+/// Hex-float rendering gives bit-exact round trips in portable text.
+void write_tensor(std::ostream& os, const nn::Tensor& t) {
+    os << t.rows() << ' ' << t.cols();
+    char buf[40];
+    for (int r = 0; r < t.rows(); ++r)
+        for (int c = 0; c < t.cols(); ++c) {
+            std::snprintf(buf, sizeof buf, " %a", static_cast<double>(t.at(r, c)));
+            os << buf;
+        }
+    os << '\n';
+}
+
+nn::Tensor read_tensor(std::istream& is) {
+    int rows = 0, cols = 0;
+    is >> rows >> cols;
+    if (!is || rows < 0 || cols < 0)
+        throw std::runtime_error("model load: bad tensor shape");
+    nn::Tensor t(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c) {
+            std::string token;
+            is >> token;
+            if (!is) throw std::runtime_error("model load: truncated tensor");
+            t.at(r, c) = std::strtof(token.c_str(), nullptr);
+        }
+    return t;
+}
+
+} // namespace
+
+void save_model(std::ostream& os, PowerModel& model) {
+    os << "powergear-model " << kModelFormatVersion << '\n';
+    write_config(os, model.config());
+    const std::vector<nn::Param*> params = model.params();
+    os << "params " << params.size() << '\n';
+    for (nn::Param* p : params) write_tensor(os, p->w);
+}
+
+std::unique_ptr<PowerModel> load_model(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "powergear-model" || version != kModelFormatVersion)
+        throw std::runtime_error("model load: bad header");
+    const ModelConfig cfg = read_config(is);
+    auto model = std::make_unique<PowerModel>(cfg);
+
+    std::string tag;
+    std::size_t count = 0;
+    is >> tag >> count;
+    if (tag != "params") throw std::runtime_error("model load: expected 'params'");
+    const std::vector<nn::Param*> params = model->params();
+    if (count != params.size())
+        throw std::runtime_error("model load: parameter count mismatch");
+    for (nn::Param* p : params) {
+        nn::Tensor t = read_tensor(is);
+        if (t.rows() != p->w.rows() || t.cols() != p->w.cols())
+            throw std::runtime_error("model load: parameter shape mismatch");
+        p->w = std::move(t);
+    }
+    return model;
+}
+
+void save_ensemble(std::ostream& os, const Ensemble& ensemble) {
+    const std::vector<PowerModel*> members = ensemble.members();
+    os << "powergear-ensemble " << kModelFormatVersion << ' ' << members.size()
+       << '\n';
+    for (PowerModel* m : members) save_model(os, *m);
+}
+
+Ensemble load_ensemble(std::istream& is) {
+    std::string magic;
+    int version = 0;
+    std::size_t count = 0;
+    is >> magic >> version >> count;
+    if (magic != "powergear-ensemble" || version != kModelFormatVersion)
+        throw std::runtime_error("ensemble load: bad header");
+    std::vector<std::unique_ptr<PowerModel>> members;
+    for (std::size_t i = 0; i < count; ++i) members.push_back(load_model(is));
+    Ensemble out;
+    out.adopt(std::move(members));
+    return out;
+}
+
+void save_ensemble_file(const std::string& path, const Ensemble& ensemble) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open for writing: " + path);
+    save_ensemble(f, ensemble);
+    if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+Ensemble load_ensemble_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("cannot open for reading: " + path);
+    return load_ensemble(f);
+}
+
+} // namespace powergear::gnn

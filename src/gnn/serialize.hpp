@@ -1,0 +1,28 @@
+// Model persistence: save/load trained PowerModels and Ensembles to a
+// portable text format (hex floats, bit-exact round trip). Lets a user train
+// once and ship the estimator, as the paper's deployment story implies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gnn/ensemble.hpp"
+
+namespace powergear::gnn {
+
+/// Format version written to the header.
+constexpr int kModelFormatVersion = 1;
+
+void save_model(std::ostream& os, PowerModel& model);
+/// Reconstructs the architecture from the stored config and restores every
+/// parameter bit-exactly. Throws std::runtime_error on malformed input.
+std::unique_ptr<PowerModel> load_model(std::istream& is);
+
+void save_ensemble(std::ostream& os, const Ensemble& ensemble);
+Ensemble load_ensemble(std::istream& is);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_ensemble_file(const std::string& path, const Ensemble& ensemble);
+Ensemble load_ensemble_file(const std::string& path);
+
+} // namespace powergear::gnn

@@ -1,0 +1,57 @@
+#include "graphgen/buffer_insertion.hpp"
+
+#include <map>
+
+#include "hls/scheduler.hpp"
+
+namespace powergear::graphgen {
+
+void insert_buffers(WorkGraph& g) {
+    const ir::Function& fn = *g.fn;
+    const hls::ElabGraph& elab = *g.elab;
+
+    // One buffer node per (array, bank), created on first access.
+    std::map<std::pair<int, int>, int> buffer_node;
+    auto buffer_for = [&](int array, int bank) {
+        auto [it, inserted] = buffer_node.try_emplace({array, bank}, -1);
+        if (inserted) {
+            WorkNode n;
+            n.is_buffer = true;
+            n.array = array;
+            n.bank = bank;
+            n.bitwidth = fn.arrays[static_cast<std::size_t>(array)].bitwidth;
+            it->second = static_cast<int>(g.nodes.size());
+            g.nodes.push_back(std::move(n));
+        }
+        return it->second;
+    };
+
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        const hls::ElabOp& op = elab.ops[static_cast<std::size_t>(o)];
+        const int node = g.node_of_op[static_cast<std::size_t>(o)];
+        if (node < 0) continue;
+        if (op.op == ir::Opcode::Alloca) {
+            // The buffer node subsumes the alloca marker.
+            g.nodes[static_cast<std::size_t>(node)].removed = true;
+            g.node_of_op[static_cast<std::size_t>(o)] = -1;
+            continue;
+        }
+        if (op.op != ir::Opcode::Load && op.op != ir::Opcode::Store) continue;
+
+        const int banks = elab.directives.banks_of(op.array);
+        const int buf = buffer_for(op.array, hls::bank_of(op.replica, banks));
+        WorkEdge e;
+        if (op.op == ir::Opcode::Store) {
+            e.src = node;
+            e.dst = buf;
+        } else {
+            e.src = buf;
+            e.dst = node;
+        }
+        e.mem_ops.push_back(o);
+        g.edges.push_back(std::move(e));
+    }
+    g.compact();
+}
+
+} // namespace powergear::graphgen

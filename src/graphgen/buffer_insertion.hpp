@@ -1,0 +1,18 @@
+// Buffer insertion (paper Sec. III-A).
+//
+// Memory elements are not explicit in the primitive DFG; they are inferred
+// from alloca/getelementptr + load/store patterns. This pass materializes a
+// buffer node per (array, partition bank) — covering both internal buffers
+// (alloca'd arrays, scalar registers) and I/O buffers (external arrays) —
+// wires stores into and loads out of their bank's buffer, annotates buffers
+// with memory resource utilization, and removes the now-represented Alloca
+// nodes.
+#pragma once
+
+#include "graphgen/dfg.hpp"
+
+namespace powergear::graphgen {
+
+void insert_buffers(WorkGraph& g);
+
+} // namespace powergear::graphgen

@@ -1,0 +1,111 @@
+#include "graphgen/datapath_merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace powergear::graphgen {
+
+namespace {
+
+/// Opcodes safe for value-numbering fusion (side-effect free, and not the
+/// memory/buffer nodes whose multiplicity carries meaning).
+bool pure_op(const WorkNode& n) {
+    if (n.is_buffer) return false;
+    switch (n.op) {
+        case ir::Opcode::Load:
+        case ir::Opcode::Store:
+        case ir::Opcode::Alloca:
+        case ir::Opcode::IndVar:
+        case ir::Opcode::Ret:
+            return false;
+        default:
+            return true;
+    }
+}
+
+/// Merge node `from` into node `into`, retargeting edges.
+void merge_into(WorkGraph& g, int into, int from) {
+    WorkNode& a = g.nodes[static_cast<std::size_t>(into)];
+    WorkNode& b = g.nodes[static_cast<std::size_t>(from)];
+    a.elab_ops.insert(a.elab_ops.end(), b.elab_ops.begin(), b.elab_ops.end());
+    b.removed = true;
+    for (int op : b.elab_ops)
+        g.node_of_op[static_cast<std::size_t>(op)] = into;
+    b.elab_ops.clear();
+    for (WorkEdge& e : g.edges) {
+        if (e.removed) continue;
+        if (e.src == from) e.src = into;
+        if (e.dst == from) e.dst = into;
+    }
+}
+
+/// One round of value numbering; returns the number of merges performed.
+int value_numbering_round(WorkGraph& g) {
+    // Gather input pins per node: sorted (operand_index, src node).
+    std::vector<std::vector<std::pair<int, int>>> inputs(g.nodes.size());
+    for (const WorkEdge& e : g.edges) {
+        if (e.removed) continue;
+        std::set<int> pin_indices;
+        for (const auto& [consumer, opidx] : e.consumer_pins) {
+            (void)consumer;
+            pin_indices.insert(opidx);
+        }
+        if (pin_indices.empty()) pin_indices.insert(0);
+        for (int k : pin_indices)
+            inputs[static_cast<std::size_t>(e.dst)].emplace_back(k, e.src);
+    }
+
+    using Key = std::tuple<int, int, std::int64_t, int,
+                           std::vector<std::pair<int, int>>>;
+    std::map<Key, int> first_with_key;
+    int merges = 0;
+    for (int v = 0; v < static_cast<int>(g.nodes.size()); ++v) {
+        WorkNode& n = g.nodes[static_cast<std::size_t>(v)];
+        if (n.removed || !pure_op(n)) continue;
+        auto& pins = inputs[static_cast<std::size_t>(v)];
+        std::sort(pins.begin(), pins.end());
+        // Constants have no inputs; keyed purely by immediate + width.
+        Key key{static_cast<int>(n.op), n.bitwidth, n.imm, n.array, pins};
+        auto [it, inserted] = first_with_key.try_emplace(std::move(key), v);
+        if (!inserted) {
+            merge_into(g, it->second, v);
+            ++merges;
+        }
+    }
+    if (merges) g.compact();
+    return merges;
+}
+
+} // namespace
+
+void merge_datapaths(WorkGraph& g, const hls::Binding& binding) {
+    // Phase 1: identical-chain fusion to fixpoint (chains collapse one level
+    // per round, so a few rounds settle any practical DFG).
+    for (int round = 0; round < 16; ++round)
+        if (value_numbering_round(g) == 0) break;
+
+    // Phase 2: resource-sharing merge. Collect current node per shared unit.
+    std::map<int, int> unit_node; // unit id -> representative node
+    for (int o = 0; o < static_cast<int>(binding.unit_of_op.size()); ++o) {
+        const int unit = binding.unit_of_op[static_cast<std::size_t>(o)];
+        if (unit < 0 || !binding.units[static_cast<std::size_t>(unit)].shared)
+            continue;
+        const int node = g.node_of_op[static_cast<std::size_t>(o)];
+        if (node < 0 || g.nodes[static_cast<std::size_t>(node)].removed) continue;
+        auto [it, inserted] = unit_node.try_emplace(unit, node);
+        if (inserted) continue;
+        // A representative can have been merged away by an earlier overlap
+        // (value numbering may interleave ops of several units in one node);
+        // re-seat it rather than merging into a dead node.
+        if (g.nodes[static_cast<std::size_t>(it->second)].removed) {
+            it->second = node;
+            continue;
+        }
+        if (it->second != node) merge_into(g, it->second, node);
+    }
+    g.compact();
+}
+
+} // namespace powergear::graphgen

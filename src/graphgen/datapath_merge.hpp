@@ -1,0 +1,19 @@
+// Datapath merging (paper Sec. III-A).
+//
+// Two mechanisms restore the hardware realization from the inflated DFG:
+//  1. Identical-chain fusion: value-numbering over pure operator nodes —
+//     nodes with the same opcode/width/immediate and the same input pins
+//     compute the same value and correspond to one hardware datapath.
+//  2. Resource-sharing merge: operator instances bound to the same shared
+//     functional unit (see hls::bind) collapse into one node, reflecting
+//     FSM-stage resource sharing in the RTL.
+#pragma once
+
+#include "graphgen/dfg.hpp"
+#include "hls/binding.hpp"
+
+namespace powergear::graphgen {
+
+void merge_datapaths(WorkGraph& g, const hls::Binding& binding);
+
+} // namespace powergear::graphgen

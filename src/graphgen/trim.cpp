@@ -1,0 +1,79 @@
+#include "graphgen/trim.hpp"
+
+namespace powergear::graphgen {
+
+namespace {
+
+bool bypassable(const WorkNode& n) {
+    return !n.is_buffer && ir::is_trivial_cast(n.op);
+}
+
+bool droppable(const WorkNode& n) {
+    return !n.is_buffer && n.op == ir::Opcode::Const;
+}
+
+} // namespace
+
+void trim_graph(WorkGraph& g) {
+    // Bypass trivial casts: connect each predecessor to each successor,
+    // keeping the successor-side consumer pins (the datapath still feeds the
+    // same sink operand).
+    for (int v = 0; v < static_cast<int>(g.nodes.size()); ++v) {
+        WorkNode& n = g.nodes[static_cast<std::size_t>(v)];
+        if (n.removed || !bypassable(n)) continue;
+        std::vector<int> in_edges, out_edges;
+        for (int e = 0; e < static_cast<int>(g.edges.size()); ++e) {
+            const WorkEdge& we = g.edges[static_cast<std::size_t>(e)];
+            if (we.removed) continue;
+            if (we.dst == v) in_edges.push_back(e);
+            if (we.src == v) out_edges.push_back(e);
+        }
+        for (int ei : in_edges) {
+            for (int eo : out_edges) {
+                WorkEdge bridged;
+                bridged.src = g.edges[static_cast<std::size_t>(ei)].src;
+                bridged.dst = g.edges[static_cast<std::size_t>(eo)].dst;
+                bridged.consumer_pins =
+                    g.edges[static_cast<std::size_t>(eo)].consumer_pins;
+                bridged.mem_ops = g.edges[static_cast<std::size_t>(eo)].mem_ops;
+                g.edges.push_back(std::move(bridged));
+            }
+        }
+        for (int ei : in_edges) g.edges[static_cast<std::size_t>(ei)].removed = true;
+        for (int eo : out_edges) g.edges[static_cast<std::size_t>(eo)].removed = true;
+        n.removed = true;
+        for (int op : n.elab_ops) g.node_of_op[static_cast<std::size_t>(op)] = -1;
+    }
+
+    // Drop constants and their fanout edges (no switching, no hardware).
+    for (int v = 0; v < static_cast<int>(g.nodes.size()); ++v) {
+        WorkNode& n = g.nodes[static_cast<std::size_t>(v)];
+        if (n.removed || !droppable(n)) continue;
+        for (WorkEdge& e : g.edges)
+            if (!e.removed && (e.src == v || e.dst == v)) e.removed = true;
+        n.removed = true;
+        for (int op : n.elab_ops) g.node_of_op[static_cast<std::size_t>(op)] = -1;
+    }
+    g.compact();
+
+    // Drop nodes left fully isolated by the bypasses.
+    std::vector<bool> touched(g.nodes.size(), false);
+    for (const WorkEdge& e : g.edges) {
+        if (e.removed) continue;
+        touched[static_cast<std::size_t>(e.src)] = true;
+        touched[static_cast<std::size_t>(e.dst)] = true;
+    }
+    bool any = false;
+    for (int v = 0; v < static_cast<int>(g.nodes.size()); ++v) {
+        if (!touched[static_cast<std::size_t>(v)] &&
+            !g.nodes[static_cast<std::size_t>(v)].removed) {
+            g.nodes[static_cast<std::size_t>(v)].removed = true;
+            for (int op : g.nodes[static_cast<std::size_t>(v)].elab_ops)
+                g.node_of_op[static_cast<std::size_t>(op)] = -1;
+            any = true;
+        }
+    }
+    if (any) g.compact();
+}
+
+} // namespace powergear::graphgen

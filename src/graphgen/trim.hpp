@@ -1,0 +1,14 @@
+// Graph trimming (paper Sec. III-A): bypass DFG nodes that contribute little
+// to arithmetic computation and produce trivial hardware entities — bit
+// truncations, sign/zero extensions, constant literals — reconnecting their
+// predecessors to their successors, then dropping isolated nodes. This
+// shrinks the sample and focuses the model on arithmetic-intensive datapaths.
+#pragma once
+
+#include "graphgen/dfg.hpp"
+
+namespace powergear::graphgen {
+
+void trim_graph(WorkGraph& g);
+
+} // namespace powergear::graphgen

@@ -1,0 +1,39 @@
+#include "hlpow/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powergear::hlpow {
+
+int feature_dim(int metadata_dim) {
+    return ir::opcode_count() * kBinsPerOpcode + metadata_dim;
+}
+
+std::vector<float> hlpow_features(const hls::ElabGraph& elab,
+                                  const sim::ActivityOracle& oracle,
+                                  const std::vector<double>& metadata) {
+    std::vector<float> feats(
+        static_cast<std::size_t>(feature_dim(static_cast<int>(metadata.size()))),
+        0.0f);
+
+    // Activity histograms: log1p(SA) binned over [0, 3.5).
+    constexpr double kRange = 3.5;
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        const hls::ElabOp& op = elab.ops[static_cast<std::size_t>(o)];
+        if (op.op == ir::Opcode::Ret) continue;
+        const double sa = std::log1p(std::max(0.0, oracle.produced(o).sa));
+        int bin = static_cast<int>(sa / kRange * kBinsPerOpcode);
+        bin = std::clamp(bin, 0, kBinsPerOpcode - 1);
+        feats[static_cast<std::size_t>(static_cast<int>(op.op) * kBinsPerOpcode +
+                                       bin)] += 1.0f;
+    }
+
+    const std::size_t meta_base =
+        static_cast<std::size_t>(ir::opcode_count() * kBinsPerOpcode);
+    for (std::size_t i = 0; i < metadata.size(); ++i)
+        feats[meta_base + i] =
+            static_cast<float>(std::log1p(std::max(0.0, metadata[i])));
+    return feats;
+}
+
+} // namespace powergear::hlpow

@@ -1,0 +1,28 @@
+// HL-Pow feature construction (Lin et al., ASP-DAC 2020 — the paper's
+// state-of-the-art baseline). HL-Pow aligns features across designs by
+// encoding the activities of each HLS operation type into a per-type
+// histogram, concatenating histograms, and appending global design metadata.
+// Crucially it has no notion of interconnect structure — the deficiency
+// PowerGear's graphs address.
+#pragma once
+
+#include <vector>
+
+#include "hls/elaborate.hpp"
+#include "sim/activity.hpp"
+
+namespace powergear::hlpow {
+
+/// Histogram bins per operation type.
+constexpr int kBinsPerOpcode = 8;
+
+/// Feature dimensionality given the metadata width.
+int feature_dim(int metadata_dim);
+
+/// Build the HL-Pow feature vector: per-opcode histograms of operator
+/// switching activities (log1p-scaled, fixed bin range) + metadata.
+std::vector<float> hlpow_features(const hls::ElabGraph& elab,
+                                  const sim::ActivityOracle& oracle,
+                                  const std::vector<double>& metadata);
+
+} // namespace powergear::hlpow

@@ -1,0 +1,93 @@
+#include "hls/binding.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace powergear::hls {
+
+Binding bind(const ir::Function& fn, const ElabGraph& elab, const Schedule& sched) {
+    Binding b;
+    b.unit_of_op.assign(static_cast<std::size_t>(elab.num_ops()), -1);
+
+    // Group shareable ops by (sharing class, region).
+    struct ClassOps {
+        // region (= parent_loop id) -> member op ids ordered by issue cycle
+        std::map<int, std::vector<int>> by_region;
+        ir::Opcode op;
+        int bitwidth;
+    };
+    std::map<int, ClassOps> classes;
+
+    for (int o = 0; o < elab.num_ops(); ++o) {
+        const ElabOp& op = elab.ops[static_cast<std::size_t>(o)];
+        const OpCharacter ch = characterize(op.op, op.bitwidth);
+        if (!ch.is_hardware) continue;
+        if (shareable(op.op)) {
+            ClassOps& co = classes[sharing_class(op.op, op.bitwidth)];
+            co.op = op.op;
+            co.bitwidth = std::max(co.bitwidth, op.bitwidth);
+            co.by_region[op.parent_loop].push_back(o);
+        } else {
+            Unit u;
+            u.op = op.op;
+            u.bitwidth = op.bitwidth;
+            u.num_ops = 1;
+            b.units.push_back(u);
+            b.unit_of_op[static_cast<std::size_t>(o)] =
+                static_cast<int>(b.units.size()) - 1;
+        }
+    }
+
+    // For each sharing class: units needed = max over regions; in a pipelined
+    // region a fully-pipelined unit accepts one issue per II cycles, so
+    // ceil(n/II) units suffice; in a sequential region the requirement is the
+    // peak number of same-cycle issues.
+    for (auto& [key, co] : classes) {
+        (void)key;
+        int needed = 1;
+        for (auto& [region, ops] : co.by_region) {
+            std::stable_sort(ops.begin(), ops.end(), [&](int a, int c) {
+                return sched.op_cycle[static_cast<std::size_t>(a)] <
+                       sched.op_cycle[static_cast<std::size_t>(c)];
+            });
+            int region_need;
+            const bool pipelined =
+                region >= 0 && sched.loops[static_cast<std::size_t>(region)].pipelined;
+            if (pipelined) {
+                const int ii = sched.loops[static_cast<std::size_t>(region)].ii;
+                region_need = (static_cast<int>(ops.size()) + ii - 1) / ii;
+            } else {
+                std::map<int, int> per_cycle;
+                int peak = 1;
+                for (int o : ops)
+                    peak = std::max(
+                        peak, ++per_cycle[sched.op_cycle[static_cast<std::size_t>(o)]]);
+                region_need = peak;
+            }
+            needed = std::max(needed, region_need);
+        }
+
+        const int first_unit = static_cast<int>(b.units.size());
+        for (int u = 0; u < needed; ++u) {
+            Unit unit;
+            unit.op = co.op;
+            unit.bitwidth = co.bitwidth;
+            unit.shared = true;
+            b.units.push_back(unit);
+        }
+        // Round-robin each region's ops across the class's units; sequential
+        // regions reuse the same physical units.
+        for (auto& [region, ops] : co.by_region) {
+            (void)region;
+            for (std::size_t k = 0; k < ops.size(); ++k) {
+                const int unit = first_unit + static_cast<int>(k) % needed;
+                b.unit_of_op[static_cast<std::size_t>(ops[k])] = unit;
+                ++b.units[static_cast<std::size_t>(unit)].num_ops;
+            }
+        }
+    }
+    (void)fn;
+    return b;
+}
+
+} // namespace powergear::hls

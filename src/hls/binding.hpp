@@ -1,0 +1,37 @@
+// Resource binding: map operator instances onto functional units.
+//
+// Expensive operators (mul/div/rem) are shared across schedule slots and
+// across sequentially-executing regions, as real HLS binding does; everything
+// else gets a dedicated unit. The unit map drives (a) the resource report,
+// (b) the datapath-merging pass ("merge the DFG nodes utilizing the same set
+// of hardware resources"), and (c) netlist expansion for the power substrate.
+#pragma once
+
+#include <vector>
+
+#include "hls/elaborate.hpp"
+#include "hls/oplib.hpp"
+#include "hls/scheduler.hpp"
+
+namespace powergear::hls {
+
+/// One bound functional unit.
+struct Unit {
+    ir::Opcode op = ir::Opcode::Const;
+    int bitwidth = 32;
+    int num_ops = 0;   ///< operator instances multiplexed onto this unit
+    bool shared = false;
+};
+
+/// Binding result.
+struct Binding {
+    std::vector<int> unit_of_op; ///< elab op id -> unit id (-1: no hardware)
+    std::vector<Unit> units;
+
+    int num_units() const { return static_cast<int>(units.size()); }
+};
+
+/// Bind `elab` given its schedule.
+Binding bind(const ir::Function& fn, const ElabGraph& elab, const Schedule& sched);
+
+} // namespace powergear::hls

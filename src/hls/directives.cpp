@@ -1,0 +1,108 @@
+#include "hls/directives.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace powergear::hls {
+
+int Directives::unroll_of(int loop_id) const {
+    auto it = loops.find(loop_id);
+    return it == loops.end() ? 1 : it->second.unroll;
+}
+
+bool Directives::pipelined(int loop_id) const {
+    auto it = loops.find(loop_id);
+    return it != loops.end() && it->second.pipeline;
+}
+
+int Directives::banks_of(int array_id) const {
+    auto it = array_partition.find(array_id);
+    return it == array_partition.end() ? 1 : it->second;
+}
+
+std::string Directives::to_string() const {
+    std::string s;
+    for (const auto& [loop, d] : loops) {
+        if (!s.empty()) s += '|';
+        s += "L" + std::to_string(loop) + ":u" + std::to_string(d.unroll) +
+             (d.pipeline ? "p" : "");
+    }
+    for (const auto& [arr, banks] : array_partition) {
+        if (!s.empty()) s += '|';
+        s += "A" + std::to_string(arr) + ":" + std::to_string(banks);
+    }
+    return s.empty() ? "baseline" : s;
+}
+
+DesignSpace::DesignSpace(const ir::Function& fn, std::vector<int> unroll_choices,
+                         std::vector<int> partition_choices)
+    : partition_choices_(std::move(partition_choices)) {
+    if (unroll_choices.empty() || partition_choices_.empty())
+        throw std::invalid_argument("DesignSpace: empty choice list");
+    std::sort(unroll_choices.begin(), unroll_choices.end());
+    std::sort(partition_choices_.begin(), partition_choices_.end());
+
+    for (int l : fn.innermost_loops()) {
+        std::vector<int> factors;
+        for (int u : unroll_choices)
+            if (u >= 1 && fn.loop(l).trip_count % u == 0) factors.push_back(u);
+        if (factors.empty()) factors.push_back(1);
+        loop_ids_.push_back(l);
+        loop_unrolls_.push_back(std::move(factors));
+    }
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a) {
+        const ir::ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(a)];
+        if (!decl.is_register() && decl.num_elements() >= 2)
+            array_ids_.push_back(a);
+    }
+
+    size_ = 1;
+    for (const auto& f : loop_unrolls_) size_ *= 2 * f.size(); // x2: pipeline flag
+    for (std::size_t i = 0; i < array_ids_.size(); ++i)
+        size_ *= partition_choices_.size();
+}
+
+Directives DesignSpace::point(std::uint64_t index) const {
+    if (index >= size_) throw std::out_of_range("DesignSpace::point: index");
+    Directives d;
+    for (std::size_t i = 0; i < loop_ids_.size(); ++i) {
+        const auto& factors = loop_unrolls_[i];
+        const std::uint64_t radix = 2 * factors.size();
+        const std::uint64_t digit = index % radix;
+        index /= radix;
+        LoopDirective ld;
+        ld.unroll = factors[digit % factors.size()];
+        ld.pipeline = (digit / factors.size()) != 0;
+        d.loops[loop_ids_[i]] = ld;
+    }
+    for (int arr : array_ids_) {
+        const std::uint64_t radix = partition_choices_.size();
+        d.array_partition[arr] =
+            partition_choices_[static_cast<std::size_t>(index % radix)];
+        index /= radix;
+    }
+    return d;
+}
+
+std::vector<Directives> DesignSpace::sample(int count) const {
+    std::vector<Directives> out;
+    if (count <= 0) return out;
+    const std::uint64_t n = std::min<std::uint64_t>(static_cast<std::uint64_t>(count), size_);
+    // Golden-ratio stride gives a low-discrepancy spread over the mixed-radix
+    // space while staying fully deterministic.
+    const std::uint64_t stride =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(0.6180339887 * static_cast<double>(size_)));
+    std::uint64_t idx = 0;
+    std::vector<bool> taken(size_ < (1u << 20) ? static_cast<std::size_t>(size_) : 0);
+    for (std::uint64_t k = 0; k < n; ++k) {
+        if (!taken.empty()) {
+            while (taken[static_cast<std::size_t>(idx)]) idx = (idx + 1) % size_;
+            taken[static_cast<std::size_t>(idx)] = true;
+        }
+        out.push_back(point(idx));
+        idx = (idx + stride) % size_;
+    }
+    return out;
+}
+
+} // namespace powergear::hls

@@ -1,0 +1,56 @@
+// Elaboration: instantiate the hardware dataflow graph implied by an IR
+// function under a directive set. Loop unrolling replicates body operations
+// (one ElabOp per hardware operator instance); SSA def-use relations become
+// ElabEdges. Memory connectivity is intentionally left to the graph
+// construction flow's buffer-insertion pass.
+#pragma once
+
+#include <vector>
+
+#include "hls/directives.hpp"
+#include "ir/ir.hpp"
+
+namespace powergear::hls {
+
+/// One hardware operator instance.
+struct ElabOp {
+    int instr = -1;    ///< originating IR instruction
+    int replica = 0;   ///< mixed-radix replica index (innermost loop fastest)
+    ir::Opcode op = ir::Opcode::Const;
+    int bitwidth = 32;
+    int array = -1;    ///< ArrayDecl index for memory ops
+    int parent_loop = -1;
+};
+
+/// SSA dependence between two operator instances.
+struct ElabEdge {
+    int src = -1;
+    int dst = -1;
+    int operand_index = 0;
+};
+
+/// The elaborated design.
+struct ElabGraph {
+    Directives directives;
+    std::vector<ElabOp> ops;
+    std::vector<ElabEdge> edges;
+    std::vector<int> first_op_of_instr; ///< instr id -> first ElabOp id
+    std::vector<int> replication;       ///< instr id -> replica count
+
+    int op_id(int instr, int replica) const {
+        return first_op_of_instr.at(static_cast<std::size_t>(instr)) + replica;
+    }
+    int num_ops() const { return static_cast<int>(ops.size()); }
+};
+
+/// Loop chain of an instruction, outermost first.
+std::vector<int> loop_chain(const ir::Function& fn, int instr);
+
+/// Total replication factor (product of unroll factors along the chain).
+int replication_factor(const ir::Function& fn, const Directives& d, int instr);
+
+/// Elaborate `fn` under directives `d`. All instructions except Ret produce
+/// operator instances.
+ElabGraph elaborate(const ir::Function& fn, const Directives& d);
+
+} // namespace powergear::hls

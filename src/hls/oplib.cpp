@@ -1,0 +1,112 @@
+#include "hls/oplib.hpp"
+
+#include <algorithm>
+
+namespace powergear::hls {
+
+using ir::Opcode;
+
+OpCharacter characterize(Opcode op, int bitwidth) {
+    const int bw = std::max(1, bitwidth);
+    OpCharacter c;
+    c.is_hardware = true;
+    switch (op) {
+        case Opcode::Add:
+        case Opcode::Sub:
+            c.latency = 1;
+            c.delay_ns = 1.2 + 0.02 * bw;
+            c.res = {bw, bw, 0};
+            break;
+        case Opcode::Mul:
+            // DSP48E2 is 27x18; a 32-bit product needs 3 DSPs + glue.
+            c.latency = 3;
+            c.delay_ns = 2.4;
+            c.res = {24, 2 * bw, bw <= 18 ? 1 : 3};
+            break;
+        case Opcode::Div:
+        case Opcode::Rem:
+            // Iterative radix-2 divider.
+            c.latency = bw + 3;
+            c.delay_ns = 2.8;
+            c.res = {bw * bw / 4, 3 * bw, 0};
+            break;
+        case Opcode::And:
+        case Opcode::Or:
+        case Opcode::Xor:
+            c.latency = 1;
+            c.delay_ns = 0.6;
+            c.res = {bw / 2 + 1, bw, 0};
+            break;
+        case Opcode::Shl:
+        case Opcode::LShr:
+        case Opcode::AShr:
+            c.latency = 1;
+            c.delay_ns = 1.0;
+            c.res = {2 * bw, bw, 0};
+            break;
+        case Opcode::ICmp:
+            c.latency = 1;
+            c.delay_ns = 0.9 + 0.015 * bw;
+            c.res = {bw / 2 + 1, 1, 0};
+            break;
+        case Opcode::Select:
+            c.latency = 1;
+            c.delay_ns = 0.5;
+            c.res = {bw, bw, 0};
+            break;
+        case Opcode::GetElementPtr:
+            // Address arithmetic folds into a small adder tree.
+            c.latency = 1;
+            c.delay_ns = 1.0;
+            c.res = {bw / 2 + 4, bw / 2, 0};
+            break;
+        case Opcode::Load:
+            c.latency = 2; // BRAM synchronous read + output register
+            c.delay_ns = 1.8;
+            c.res = {4, bw, 0};
+            break;
+        case Opcode::Store:
+            c.latency = 1;
+            c.delay_ns = 1.4;
+            c.res = {4, 0, 0};
+            break;
+        case Opcode::IndVar:
+            c.latency = 0; // counter lives in the FSM
+            c.delay_ns = 0.8;
+            c.res = {bw / 2, bw, 0};
+            break;
+        case Opcode::Trunc:
+        case Opcode::ZExt:
+        case Opcode::SExt:
+        case Opcode::Const:
+        case Opcode::Alloca:
+        case Opcode::Ret:
+            c.latency = 0; // pure wiring / no hardware entity
+            c.delay_ns = 0.0;
+            c.res = {0, 0, 0};
+            c.is_hardware = false;
+            break;
+    }
+    return c;
+}
+
+bool shareable(Opcode op) {
+    switch (op) {
+        case Opcode::Mul:
+        case Opcode::Div:
+        case Opcode::Rem:
+            return true;
+        default:
+            return false;
+    }
+}
+
+int sharing_class(Opcode op, int bitwidth) {
+    // Bucket widths into {<=18, <=32, >32}; class key packs opcode + bucket.
+    const int bucket = bitwidth <= 18 ? 0 : (bitwidth <= 32 ? 1 : 2);
+    return static_cast<int>(op) * 4 + bucket;
+}
+
+int sharing_mux_cost(int bitwidth) { return std::max(4, bitwidth / 2); }
+
+} // namespace powergear::hls

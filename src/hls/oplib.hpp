@@ -1,0 +1,49 @@
+// Operator characterization library: latency, combinational delay and FPGA
+// resource cost per IR opcode and bitwidth. Values are modelled on Xilinx
+// UltraScale+ speed-grade characteristics (DSP48E2 multipliers, CARRY8
+// adders, BRAM36 memories) — not vendor-exact, but with realistic relative
+// magnitudes so scheduling and power trade-offs behave like real HLS.
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace powergear::hls {
+
+/// Resource cost of one functional unit.
+struct Resources {
+    int lut = 0;
+    int ff = 0;
+    int dsp = 0;
+
+    Resources& operator+=(const Resources& o) {
+        lut += o.lut;
+        ff += o.ff;
+        dsp += o.dsp;
+        return *this;
+    }
+    Resources operator*(int k) const { return {lut * k, ff * k, dsp * k}; }
+};
+
+/// Characterization of one operator instance.
+struct OpCharacter {
+    int latency = 0;       ///< pipeline cycles from operand to result
+    double delay_ns = 0.0; ///< combinational stage delay
+    Resources res;         ///< per-unit resource cost
+    bool is_hardware = false; ///< false for free entities (const, wires, casts)
+};
+
+/// Look up the character of an opcode at a given bitwidth.
+OpCharacter characterize(ir::Opcode op, int bitwidth);
+
+/// True when two ops may share one functional unit (same sharing class).
+/// Only "expensive" operators are shared (mul/div), matching typical HLS
+/// binding behaviour.
+bool shareable(ir::Opcode op);
+
+/// Sharing-class key: ops with equal keys can bind to the same unit.
+int sharing_class(ir::Opcode op, int bitwidth);
+
+/// Extra LUTs consumed per additional op multiplexed onto a shared unit.
+int sharing_mux_cost(int bitwidth);
+
+} // namespace powergear::hls

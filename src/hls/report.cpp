@@ -1,0 +1,75 @@
+#include "hls/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powergear::hls {
+
+HlsReport make_report(const ir::Function& fn, const ElabGraph& elab,
+                      const Schedule& sched, const Binding& binding) {
+    HlsReport r;
+
+    int max_share = 1;
+    double max_delay = 0.0;
+    for (const Unit& u : binding.units) {
+        const OpCharacter ch = characterize(u.op, u.bitwidth);
+        r.lut += ch.res.lut;
+        r.ff += ch.res.ff;
+        r.dsp += ch.res.dsp;
+        max_delay = std::max(max_delay, ch.delay_ns);
+        if (u.shared && u.num_ops > 1) {
+            r.lut += (u.num_ops - 1) * sharing_mux_cost(u.bitwidth);
+            max_share = std::max(max_share, u.num_ops);
+        }
+    }
+
+    // Memories: BRAM banks (18 Kb each) for arrays, flip-flops for scalar
+    // registers, plus bank-select muxing for partitioned arrays.
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a) {
+        const ir::ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(a)];
+        if (decl.is_register()) {
+            r.ff += decl.bitwidth;
+            continue;
+        }
+        const int banks = elab.directives.banks_of(a);
+        const std::int64_t words_per_bank =
+            (decl.num_elements() + banks - 1) / banks;
+        const std::int64_t bits = words_per_bank * decl.bitwidth;
+        r.bram += banks * static_cast<int>(std::max<std::int64_t>(1, (bits + 18431) / 18432));
+        if (banks > 1) r.lut += banks * 2 + decl.bitwidth;
+    }
+
+    // Control: FSM one-hot decode logic and state register.
+    r.fsm_states = sched.fsm_states;
+    r.lut += 2 * sched.fsm_states + 8;
+    r.ff += static_cast<int>(std::ceil(std::log2(sched.fsm_states + 1))) + 2;
+
+    r.latency_cycles = sched.total_latency;
+
+    // Achieved clock period: slowest stage plus a routing/congestion term
+    // growing with design size and sharing-mux depth.
+    const double routing = 0.5 + 0.25 * std::log2(1.0 + r.lut / 500.0) +
+                           0.10 * std::log2(1.0 + r.dsp) +
+                           0.20 * std::log2(static_cast<double>(max_share));
+    r.clock_ns = std::max(3.0, max_delay + routing);
+    return r;
+}
+
+std::vector<double> metadata_features(const HlsReport& r, const HlsReport& baseline) {
+    auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 1.0; };
+    return {
+        static_cast<double>(r.lut),
+        static_cast<double>(r.dsp),
+        static_cast<double>(r.bram),
+        static_cast<double>(r.latency_cycles),
+        r.clock_ns,
+        ratio(static_cast<double>(r.lut), static_cast<double>(baseline.lut)),
+        ratio(static_cast<double>(r.dsp), static_cast<double>(baseline.dsp)),
+        ratio(static_cast<double>(r.bram), static_cast<double>(baseline.bram)),
+        ratio(static_cast<double>(r.latency_cycles),
+              static_cast<double>(baseline.latency_cycles)),
+        ratio(r.clock_ns, baseline.clock_ns),
+    };
+}
+
+} // namespace powergear::hls

@@ -1,0 +1,38 @@
+// HLS report: resource utilization, timing, and the global-metadata feature
+// vector the paper feeds to HEC-GNN's metadata MLP (LUT/DSP/BRAM, latency,
+// achieved clock period, plus their scaling factors over the unoptimized
+// baseline design).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hls/binding.hpp"
+#include "hls/elaborate.hpp"
+#include "hls/scheduler.hpp"
+
+namespace powergear::hls {
+
+/// Post-synthesis estimate a real HLS tool would print.
+struct HlsReport {
+    int lut = 0;
+    int ff = 0;
+    int dsp = 0;
+    int bram = 0;
+    std::int64_t latency_cycles = 0;
+    double clock_ns = 0.0; ///< achieved clock period estimate
+    int fsm_states = 0;
+};
+
+/// Build the report from schedule + binding.
+HlsReport make_report(const ir::Function& fn, const ElabGraph& elab,
+                      const Schedule& sched, const Binding& binding);
+
+/// Number of metadata features (5 metrics + 5 scaling factors).
+constexpr int kMetadataDim = 10;
+
+/// The paper's global metadata vector: {LUT, DSP, BRAM, latency, clock} and
+/// the same five metrics as ratios over the unoptimized baseline report.
+std::vector<double> metadata_features(const HlsReport& r, const HlsReport& baseline);
+
+} // namespace powergear::hls

@@ -1,0 +1,45 @@
+// FSMD scheduling of an elaborated design.
+//
+// Each loop body (and the function top level) is a region scheduled with
+// ASAP list scheduling under memory-port constraints (2 ports per BRAM
+// bank). Pipelined innermost loops get an initiation interval II =
+// max(recurrence MII through scalar accumulator registers, resource MII
+// from memory-port contention). Loop latencies compose bottom-up to a total
+// design latency in cycles — the latency used for Eq. (2)'s normalization,
+// the HLS report, and the DSE latency axis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hls/elaborate.hpp"
+
+namespace powergear::hls {
+
+/// Per-loop scheduling outcome.
+struct LoopSchedule {
+    int loop = -1;
+    bool pipelined = false;
+    int ii = 1;                      ///< initiation interval (pipelined loops)
+    int iteration_latency = 1;       ///< body schedule depth in cycles
+    std::int64_t total_latency = 0;  ///< loop-total cycles incl. children
+    int states = 1;                  ///< FSM states contributed
+};
+
+/// Whole-design schedule.
+struct Schedule {
+    std::vector<LoopSchedule> loops;     ///< indexed by loop id
+    std::vector<int> op_cycle;           ///< elab op -> issue cycle in region
+    std::int64_t total_latency = 0;      ///< function latency in cycles
+    int fsm_states = 1;
+};
+
+/// Schedule `elab` (elaborated from `fn`).
+Schedule schedule(const ir::Function& fn, const ElabGraph& elab);
+
+/// Memory bank targeted by a replicated access (cyclic partitioning: the
+/// replica index cycles through banks, matching innermost-dimension cyclic
+/// array partitioning).
+inline int bank_of(int replica, int banks) { return banks <= 1 ? 0 : replica % banks; }
+
+} // namespace powergear::hls

@@ -1,0 +1,207 @@
+#include "ir/builder.hpp"
+
+#include <stdexcept>
+
+namespace powergear::ir {
+
+Builder::Builder(std::string function_name) { fn_.name = std::move(function_name); }
+
+int Builder::array(const std::string& name, std::vector<int> dims,
+                   bool external, int bitwidth) {
+    for (int d : dims)
+        if (d <= 0) throw std::invalid_argument("Builder::array: dim <= 0");
+    ArrayDecl decl;
+    decl.name = name;
+    decl.dims = std::move(dims);
+    decl.bitwidth = bitwidth;
+    decl.is_external = external;
+    fn_.arrays.push_back(decl);
+    const int id = static_cast<int>(fn_.arrays.size()) - 1;
+    if (!external) {
+        Instr a;
+        a.op = Opcode::Alloca;
+        a.array = id;
+        a.bitwidth = bitwidth;
+        a.name = name;
+        emit(std::move(a));
+    }
+    return id;
+}
+
+int Builder::reg(const std::string& name, int bitwidth) {
+    return array(name, {}, /*external=*/false, bitwidth);
+}
+
+int Builder::constant(std::int64_t value, int bitwidth) {
+    Instr c;
+    c.op = Opcode::Const;
+    c.imm = value;
+    c.bitwidth = bitwidth;
+    return emit(std::move(c));
+}
+
+int Builder::binary(Opcode op, int a, int b) {
+    Instr in;
+    in.op = op;
+    in.operands = {a, b};
+    in.bitwidth = std::max(fn_.instr(a).bitwidth, fn_.instr(b).bitwidth);
+    return emit(std::move(in));
+}
+
+int Builder::add(int a, int b) { return binary(Opcode::Add, a, b); }
+int Builder::sub(int a, int b) { return binary(Opcode::Sub, a, b); }
+int Builder::mul(int a, int b) { return binary(Opcode::Mul, a, b); }
+int Builder::div(int a, int b) { return binary(Opcode::Div, a, b); }
+int Builder::rem(int a, int b) { return binary(Opcode::Rem, a, b); }
+int Builder::and_(int a, int b) { return binary(Opcode::And, a, b); }
+int Builder::or_(int a, int b) { return binary(Opcode::Or, a, b); }
+int Builder::xor_(int a, int b) { return binary(Opcode::Xor, a, b); }
+int Builder::shl(int a, int b) { return binary(Opcode::Shl, a, b); }
+int Builder::lshr(int a, int b) { return binary(Opcode::LShr, a, b); }
+int Builder::ashr(int a, int b) { return binary(Opcode::AShr, a, b); }
+
+int Builder::icmp(Pred pred, int a, int b) {
+    Instr in;
+    in.op = Opcode::ICmp;
+    in.operands = {a, b};
+    in.imm = static_cast<std::int64_t>(pred);
+    in.bitwidth = 1;
+    return emit(std::move(in));
+}
+
+int Builder::select(int cond, int if_true, int if_false) {
+    Instr in;
+    in.op = Opcode::Select;
+    in.operands = {cond, if_true, if_false};
+    in.bitwidth = std::max(fn_.instr(if_true).bitwidth, fn_.instr(if_false).bitwidth);
+    return emit(std::move(in));
+}
+
+int Builder::trunc(int v, int bitwidth) {
+    Instr in;
+    in.op = Opcode::Trunc;
+    in.operands = {v};
+    in.bitwidth = bitwidth;
+    return emit(std::move(in));
+}
+
+int Builder::zext(int v, int bitwidth) {
+    Instr in;
+    in.op = Opcode::ZExt;
+    in.operands = {v};
+    in.bitwidth = bitwidth;
+    return emit(std::move(in));
+}
+
+int Builder::sext(int v, int bitwidth) {
+    Instr in;
+    in.op = Opcode::SExt;
+    in.operands = {v};
+    in.bitwidth = bitwidth;
+    return emit(std::move(in));
+}
+
+int Builder::load(int array_id, const std::vector<int>& indices) {
+    const ArrayDecl& decl = fn_.arrays.at(static_cast<std::size_t>(array_id));
+    if (indices.size() != decl.dims.size())
+        throw std::invalid_argument("Builder::load: index count mismatch for " + decl.name);
+    Instr gep;
+    gep.op = Opcode::GetElementPtr;
+    gep.array = array_id;
+    gep.operands = indices;
+    gep.bitwidth = 32;
+    const int gep_id = emit(std::move(gep));
+    Instr ld;
+    ld.op = Opcode::Load;
+    ld.array = array_id;
+    ld.operands = {gep_id};
+    ld.bitwidth = decl.bitwidth;
+    return emit(std::move(ld));
+}
+
+void Builder::store(int array_id, const std::vector<int>& indices, int value) {
+    const ArrayDecl& decl = fn_.arrays.at(static_cast<std::size_t>(array_id));
+    if (indices.size() != decl.dims.size())
+        throw std::invalid_argument("Builder::store: index count mismatch for " + decl.name);
+    Instr gep;
+    gep.op = Opcode::GetElementPtr;
+    gep.array = array_id;
+    gep.operands = indices;
+    gep.bitwidth = 32;
+    const int gep_id = emit(std::move(gep));
+    Instr st;
+    st.op = Opcode::Store;
+    st.array = array_id;
+    st.operands = {gep_id, value};
+    st.bitwidth = decl.bitwidth;
+    emit(std::move(st));
+}
+
+void Builder::begin_loop(const std::string& name, int trip_count) {
+    if (trip_count < 1) throw std::invalid_argument("Builder::begin_loop: trip < 1");
+    Loop l;
+    l.name = name;
+    l.trip_count = trip_count;
+    l.parent = loop_stack_.empty() ? -1 : loop_stack_.back();
+    fn_.loops.push_back(l);
+    const int loop_id = static_cast<int>(fn_.loops.size()) - 1;
+
+    // Register the loop as a statement in its parent scope before entering it.
+    BodyItem item{BodyItem::Kind::ChildLoop, loop_id};
+    if (loop_stack_.empty())
+        fn_.top.push_back(item);
+    else
+        fn_.loops[static_cast<std::size_t>(loop_stack_.back())].body.push_back(item);
+
+    loop_stack_.push_back(loop_id);
+
+    Instr iv;
+    iv.op = Opcode::IndVar;
+    iv.bitwidth = 32;
+    iv.name = name + ".iv";
+    fn_.loops[static_cast<std::size_t>(loop_id)].indvar = emit(std::move(iv));
+}
+
+void Builder::end_loop() {
+    if (loop_stack_.empty()) throw std::logic_error("Builder::end_loop: no open loop");
+    loop_stack_.pop_back();
+}
+
+int Builder::indvar() const { return indvar_at(0); }
+
+int Builder::indvar_at(int levels_up) const {
+    const int n = static_cast<int>(loop_stack_.size());
+    if (levels_up < 0 || levels_up >= n)
+        throw std::out_of_range("Builder::indvar_at: no such enclosing loop");
+    const int loop_id = loop_stack_[static_cast<std::size_t>(n - 1 - levels_up)];
+    return fn_.loop(loop_id).indvar;
+}
+
+void Builder::ret() {
+    Instr r;
+    r.op = Opcode::Ret;
+    emit(std::move(r));
+}
+
+int Builder::emit(Instr in) {
+    for (int opnd : in.operands)
+        if (opnd < 0 || opnd >= static_cast<int>(fn_.instrs.size()))
+            throw std::invalid_argument("Builder: operand id out of range");
+    in.parent_loop = loop_stack_.empty() ? -1 : loop_stack_.back();
+    fn_.instrs.push_back(std::move(in));
+    const int id = static_cast<int>(fn_.instrs.size()) - 1;
+    BodyItem item{BodyItem::Kind::Instruction, id};
+    if (loop_stack_.empty())
+        fn_.top.push_back(item);
+    else
+        fn_.loops[static_cast<std::size_t>(loop_stack_.back())].body.push_back(item);
+    return id;
+}
+
+Function Builder::build() {
+    if (!loop_stack_.empty())
+        throw std::logic_error("Builder::build: unclosed loop");
+    return std::move(fn_);
+}
+
+} // namespace powergear::ir

@@ -1,0 +1,98 @@
+// Scoped construction API for the mini IR.
+//
+// Usage sketch (a dot-product kernel):
+//
+//   Builder b("dot");
+//   int A = b.array("A", {N});
+//   int B = b.array("B", {N});
+//   int acc = b.reg("acc");
+//   b.store_reg(acc, b.constant(0));
+//   b.begin_loop("L0", N);
+//     int i = b.indvar();
+//     int p = b.mul(b.load(A, {i}), b.load(B, {i}));
+//     b.store_reg(acc, b.add(b.load_reg(acc), p));
+//   b.end_loop();
+//   Function f = b.build();
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace powergear::ir {
+
+/// Builds a Function incrementally with scoped loops. All value-producing
+/// methods return the new instruction's id for use as an operand.
+class Builder {
+public:
+    explicit Builder(std::string function_name);
+
+    // --- storage -----------------------------------------------------------
+
+    /// Declare an array. External arrays model kernel I/O buffers; internal
+    /// ones get an Alloca instruction (matching the buffer-insertion pattern).
+    int array(const std::string& name, std::vector<int> dims,
+              bool external = true, int bitwidth = 32);
+
+    /// Declare a scalar register (internal, zero-dimensional array).
+    int reg(const std::string& name, int bitwidth = 32);
+
+    // --- values ------------------------------------------------------------
+
+    int constant(std::int64_t value, int bitwidth = 32);
+
+    int add(int a, int b);
+    int sub(int a, int b);
+    int mul(int a, int b);
+    int div(int a, int b);
+    int rem(int a, int b);
+    int and_(int a, int b);
+    int or_(int a, int b);
+    int xor_(int a, int b);
+    int shl(int a, int b);
+    int lshr(int a, int b);
+    int ashr(int a, int b);
+    int icmp(Pred pred, int a, int b);
+    int select(int cond, int if_true, int if_false);
+    int trunc(int v, int bitwidth);
+    int zext(int v, int bitwidth);
+    int sext(int v, int bitwidth);
+
+    // --- memory ------------------------------------------------------------
+
+    /// Load array[indices]; emits a GetElementPtr followed by a Load.
+    int load(int array_id, const std::vector<int>& indices);
+    /// Store value into array[indices].
+    void store(int array_id, const std::vector<int>& indices, int value);
+
+    /// Scalar-register shorthand (zero indices).
+    int load_reg(int array_id) { return load(array_id, {}); }
+    void store_reg(int array_id, int value) { store(array_id, {}, value); }
+
+    // --- control -----------------------------------------------------------
+
+    /// Open a counted loop; subsequent emissions land in its body.
+    void begin_loop(const std::string& name, int trip_count);
+    /// Close the innermost open loop.
+    void end_loop();
+    /// Induction variable of the innermost open loop.
+    int indvar() const;
+    /// Induction variable `levels_up` loops above the innermost open one
+    /// (0 = innermost). Useful for multi-dimensional addressing.
+    int indvar_at(int levels_up) const;
+
+    void ret();
+
+    /// Finalize; throws std::logic_error if loops remain open.
+    Function build();
+
+private:
+    int emit(Instr in);
+    int binary(Opcode op, int a, int b);
+
+    Function fn_;
+    std::vector<int> loop_stack_; ///< open loop ids, outermost first
+};
+
+} // namespace powergear::ir

@@ -1,0 +1,67 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace powergear::ir {
+
+namespace {
+
+void print_instr(std::ostringstream& os, const Function& fn, int id,
+                 const std::string& indent) {
+    const Instr& in = fn.instr(id);
+    os << indent;
+    if (has_result(in.op)) os << "%" << id << " = ";
+    os << opcode_name(in.op);
+    if (in.op == Opcode::Const) {
+        os << " " << in.imm;
+    } else if (in.op == Opcode::ICmp) {
+        static const char* preds[] = {"eq", "ne", "slt", "sle", "sgt", "sge"};
+        os << " " << preds[in.imm];
+    }
+    if (in.array >= 0) os << " @" << fn.arrays[static_cast<std::size_t>(in.array)].name;
+    for (std::size_t k = 0; k < in.operands.size(); ++k)
+        os << (k ? ", %" : " %") << in.operands[k];
+    os << " : i" << in.bitwidth;
+    if (!in.name.empty()) os << "  ; " << in.name;
+    os << "\n";
+}
+
+void print_body(std::ostringstream& os, const Function& fn,
+                const std::vector<BodyItem>& body, int depth) {
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    for (const BodyItem& item : body) {
+        if (item.kind == BodyItem::Kind::Instruction) {
+            print_instr(os, fn, item.index, indent);
+        } else {
+            const Loop& l = fn.loop(item.index);
+            os << indent << "for " << l.name << " (trip=" << l.trip_count
+               << ", iv=%" << l.indvar << ") {\n";
+            print_body(os, fn, l.body, depth + 1);
+            os << indent << "}\n";
+        }
+    }
+}
+
+} // namespace
+
+std::string to_string(const Function& fn) {
+    std::ostringstream os;
+    os << "func @" << fn.name << " {\n";
+    for (const ArrayDecl& a : fn.arrays) {
+        os << "  " << (a.is_external ? "extern " : "local ") << a.name;
+        if (a.is_register()) {
+            os << " : reg i" << a.bitwidth;
+        } else {
+            os << " : [";
+            for (std::size_t i = 0; i < a.dims.size(); ++i)
+                os << (i ? " x " : "") << a.dims[i];
+            os << "] i" << a.bitwidth;
+        }
+        os << "\n";
+    }
+    print_body(os, fn, fn.top, 1);
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace powergear::ir

@@ -1,0 +1,13 @@
+// Textual dump of IR functions for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace powergear::ir {
+
+/// Render the function as indented pseudo-LLVM text.
+std::string to_string(const Function& fn);
+
+} // namespace powergear::ir

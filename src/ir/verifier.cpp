@@ -1,0 +1,101 @@
+#include "ir/verifier.hpp"
+
+#include <stdexcept>
+
+namespace powergear::ir {
+
+namespace {
+
+VerifyResult fail(int id, const std::string& what) {
+    return {false, "instr %" + std::to_string(id) + ": " + what};
+}
+
+int expected_arity(Opcode op) {
+    switch (op) {
+        case Opcode::Const:
+        case Opcode::IndVar:
+        case Opcode::Alloca:
+        case Opcode::Ret:
+            return 0;
+        case Opcode::Trunc:
+        case Opcode::ZExt:
+        case Opcode::SExt:
+        case Opcode::Load:
+            return 1;
+        case Opcode::Select:
+            return 3;
+        case Opcode::GetElementPtr:
+            return -1; // rank-dependent
+        case Opcode::Store:
+            return 2;
+        default:
+            return 2; // binary arithmetic
+    }
+}
+
+} // namespace
+
+VerifyResult verify(const Function& fn) {
+    const int n = static_cast<int>(fn.instrs.size());
+    for (int id = 0; id < n; ++id) {
+        const Instr& in = fn.instr(id);
+        if (in.bitwidth <= 0 || in.bitwidth > 64)
+            return fail(id, "bitwidth out of range");
+        const int arity = expected_arity(in.op);
+        if (arity >= 0 && static_cast<int>(in.operands.size()) != arity)
+            return fail(id, std::string("bad arity for ") + opcode_name(in.op));
+        for (int opnd : in.operands) {
+            if (opnd < 0 || opnd >= id)
+                return fail(id, "operand not defined before use");
+            if (!has_result(fn.instr(opnd).op))
+                return fail(id, "operand has no result");
+        }
+        if (is_memory(in.op)) {
+            if (in.array < 0 || in.array >= static_cast<int>(fn.arrays.size()))
+                return fail(id, "memory op with invalid array ref");
+            const ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(in.array)];
+            if (in.op == Opcode::GetElementPtr &&
+                in.operands.size() != decl.dims.size())
+                return fail(id, "GEP index count != array rank");
+            if (in.op == Opcode::Load &&
+                fn.instr(in.operands[0]).op != Opcode::GetElementPtr)
+                return fail(id, "load address is not a GEP");
+            if (in.op == Opcode::Store &&
+                fn.instr(in.operands[0]).op != Opcode::GetElementPtr)
+                return fail(id, "store address is not a GEP");
+        }
+        if (in.parent_loop >= static_cast<int>(fn.loops.size()))
+            return fail(id, "parent_loop out of range");
+    }
+    for (int l = 0; l < static_cast<int>(fn.loops.size()); ++l) {
+        const Loop& loop = fn.loop(l);
+        if (loop.trip_count < 1)
+            return {false, "loop " + loop.name + ": trip_count < 1"};
+        if (loop.indvar < 0 || loop.indvar >= n ||
+            fn.instr(loop.indvar).op != Opcode::IndVar)
+            return {false, "loop " + loop.name + ": missing indvar"};
+        if (loop.parent >= static_cast<int>(fn.loops.size()) || loop.parent == l)
+            return {false, "loop " + loop.name + ": bad parent"};
+        for (const BodyItem& item : loop.body) {
+            if (item.kind == BodyItem::Kind::Instruction) {
+                if (item.index < 0 || item.index >= n)
+                    return {false, "loop " + loop.name + ": body instr out of range"};
+                if (fn.instr(item.index).parent_loop != l)
+                    return {false, "loop " + loop.name + ": body instr parent mismatch"};
+            } else {
+                if (item.index < 0 || item.index >= static_cast<int>(fn.loops.size()))
+                    return {false, "loop " + loop.name + ": child loop out of range"};
+                if (fn.loop(item.index).parent != l)
+                    return {false, "loop " + loop.name + ": child loop parent mismatch"};
+            }
+        }
+    }
+    return {};
+}
+
+void verify_or_throw(const Function& fn) {
+    const VerifyResult r = verify(fn);
+    if (!r.ok) throw std::runtime_error("IR verify failed in '" + fn.name + "': " + r.message);
+}
+
+} // namespace powergear::ir

@@ -1,0 +1,27 @@
+// Structural validation of IR functions. Run after construction and before
+// scheduling/interpretation; catches malformed kernels early with a message
+// naming the offending instruction.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace powergear::ir {
+
+/// Result of verification; `ok` with an empty message on success, otherwise
+/// `message` describes the first violation found.
+struct VerifyResult {
+    bool ok = true;
+    std::string message;
+};
+
+/// Check def-before-use, operand arity per opcode, GEP index arity against
+/// array rank, memory opcode array references, loop-tree consistency
+/// (parents, indvars, body membership) and bitwidth sanity.
+VerifyResult verify(const Function& fn);
+
+/// Throwing convenience wrapper.
+void verify_or_throw(const Function& fn);
+
+} // namespace powergear::ir

@@ -1,0 +1,443 @@
+#include "kernels/polybench.hpp"
+
+#include <stdexcept>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace powergear::kernels {
+
+using ir::Builder;
+using ir::Function;
+
+namespace {
+
+constexpr std::int64_t kAlpha = 3; // polybench's alpha/beta scalars
+constexpr std::int64_t kBeta = 2;
+
+Function finish(Builder& b) {
+    b.ret();
+    Function f = b.build();
+    ir::verify_or_throw(f);
+    return f;
+}
+
+} // namespace
+
+const std::vector<std::string>& polybench_names() {
+    static const std::vector<std::string> names = {
+        "atax", "bicg", "gemm", "gesummv", "k2mm",
+        "k3mm", "mvt",  "syrk", "syr2k"};
+    return names;
+}
+
+// atax: y = A^T (A x)
+Function build_atax(int n) {
+    Builder b("atax");
+    const int A = b.array("A", {n, n});
+    const int x = b.array("x", {n});
+    const int y = b.array("y", {n});
+    const int tmp = b.array("tmp", {n}, /*external=*/false);
+    const int acc = b.reg("acc");
+
+    b.begin_loop("init_y", n);
+    b.store(y, {b.indvar()}, b.constant(0));
+    b.end_loop();
+
+    b.begin_loop("row", n);
+    {
+        const int i = b.indvar();
+        b.store_reg(acc, b.constant(0));
+        b.begin_loop("dot", n);
+        {
+            const int j = b.indvar();
+            const int prod = b.mul(b.load(A, {i, j}), b.load(x, {j}));
+            b.store_reg(acc, b.add(b.load_reg(acc), prod));
+        }
+        b.end_loop();
+        b.store(tmp, {i}, b.load_reg(acc));
+        b.begin_loop("update_y", n);
+        {
+            const int j = b.indvar();
+            const int prod = b.mul(b.load(A, {i, j}), b.load(tmp, {i}));
+            b.store(y, {j}, b.add(b.load(y, {j}), prod));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// bicg: s = r^T A ; q = A p
+Function build_bicg(int n) {
+    Builder b("bicg");
+    const int A = b.array("A", {n, n});
+    const int r = b.array("r", {n});
+    const int p = b.array("p", {n});
+    const int s = b.array("s", {n});
+    const int q = b.array("q", {n});
+    const int acc = b.reg("acc_q");
+
+    b.begin_loop("init_s", n);
+    b.store(s, {b.indvar()}, b.constant(0));
+    b.end_loop();
+
+    b.begin_loop("row", n);
+    {
+        const int i = b.indvar();
+        b.store_reg(acc, b.constant(0));
+        b.begin_loop("col", n);
+        {
+            const int j = b.indvar();
+            const int a_ij = b.load(A, {i, j});
+            const int s_new = b.add(b.load(s, {j}), b.mul(b.load(r, {i}), a_ij));
+            b.store(s, {j}, s_new);
+            const int q_term = b.mul(a_ij, b.load(p, {j}));
+            b.store_reg(acc, b.add(b.load_reg(acc), q_term));
+        }
+        b.end_loop();
+        b.store(q, {i}, b.load_reg(acc));
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// gemm: C = alpha*A*B + beta*C
+Function build_gemm(int n) {
+    Builder b("gemm");
+    const int A = b.array("A", {n, n});
+    const int B = b.array("B", {n, n});
+    const int C = b.array("C", {n, n});
+    const int acc = b.reg("acc");
+
+    b.begin_loop("i", n);
+    {
+        const int i = b.indvar();
+        b.begin_loop("j", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.mul(b.load(C, {i, j}), b.constant(kBeta)));
+            b.begin_loop("k", n);
+            {
+                const int k = b.indvar();
+                const int prod = b.mul(b.load(A, {i, k}), b.load(B, {k, j}));
+                const int scaled = b.mul(prod, b.constant(kAlpha));
+                b.store_reg(acc, b.add(b.load_reg(acc), scaled));
+            }
+            b.end_loop();
+            b.store(C, {i, j}, b.load_reg(acc));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// gesummv: y = alpha*A*x + beta*B*x
+Function build_gesummv(int n) {
+    Builder b("gesummv");
+    const int A = b.array("A", {n, n});
+    const int B = b.array("B", {n, n});
+    const int x = b.array("x", {n});
+    const int y = b.array("y", {n});
+    const int acc1 = b.reg("acc_a");
+    const int acc2 = b.reg("acc_b");
+
+    b.begin_loop("row", n);
+    {
+        const int i = b.indvar();
+        b.store_reg(acc1, b.constant(0));
+        b.store_reg(acc2, b.constant(0));
+        b.begin_loop("col", n);
+        {
+            const int j = b.indvar();
+            const int xj = b.load(x, {j});
+            b.store_reg(acc1, b.add(b.load_reg(acc1), b.mul(b.load(A, {i, j}), xj)));
+            b.store_reg(acc2, b.add(b.load_reg(acc2), b.mul(b.load(B, {i, j}), xj)));
+        }
+        b.end_loop();
+        const int lhs = b.mul(b.load_reg(acc1), b.constant(kAlpha));
+        const int rhs = b.mul(b.load_reg(acc2), b.constant(kBeta));
+        b.store(y, {i}, b.add(lhs, rhs));
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// 2mm: D = alpha*A*B*C + beta*D
+Function build_2mm(int n) {
+    Builder b("k2mm");
+    const int A = b.array("A", {n, n});
+    const int B = b.array("B", {n, n});
+    const int C = b.array("C", {n, n});
+    const int D = b.array("D", {n, n});
+    const int tmp = b.array("tmp", {n, n}, /*external=*/false);
+    const int acc = b.reg("acc");
+
+    b.begin_loop("mm1_i", n);
+    {
+        const int i = b.indvar();
+        b.begin_loop("mm1_j", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.constant(0));
+            b.begin_loop("mm1_k", n);
+            {
+                const int k = b.indvar();
+                const int prod = b.mul(b.load(A, {i, k}), b.load(B, {k, j}));
+                b.store_reg(acc, b.add(b.load_reg(acc), b.mul(prod, b.constant(kAlpha))));
+            }
+            b.end_loop();
+            b.store(tmp, {i, j}, b.load_reg(acc));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+
+    b.begin_loop("mm2_i", n);
+    {
+        const int i = b.indvar();
+        b.begin_loop("mm2_j", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.mul(b.load(D, {i, j}), b.constant(kBeta)));
+            b.begin_loop("mm2_k", n);
+            {
+                const int k = b.indvar();
+                const int prod = b.mul(b.load(tmp, {i, k}), b.load(C, {k, j}));
+                b.store_reg(acc, b.add(b.load_reg(acc), prod));
+            }
+            b.end_loop();
+            b.store(D, {i, j}, b.load_reg(acc));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// 3mm: G = (A*B) * (C*D)
+Function build_3mm(int n) {
+    Builder b("k3mm");
+    const int A = b.array("A", {n, n});
+    const int B = b.array("B", {n, n});
+    const int C = b.array("C", {n, n});
+    const int D = b.array("D", {n, n});
+    const int G = b.array("G", {n, n});
+    const int E = b.array("E", {n, n}, /*external=*/false);
+    const int F = b.array("F", {n, n}, /*external=*/false);
+    const int acc = b.reg("acc");
+
+    auto matmul = [&](const char* tag, int dst, int lhs, int rhs) {
+        b.begin_loop(std::string(tag) + "_i", n);
+        const int i = b.indvar();
+        b.begin_loop(std::string(tag) + "_j", n);
+        const int j = b.indvar();
+        b.store_reg(acc, b.constant(0));
+        b.begin_loop(std::string(tag) + "_k", n);
+        const int k = b.indvar();
+        const int prod = b.mul(b.load(lhs, {i, k}), b.load(rhs, {k, j}));
+        b.store_reg(acc, b.add(b.load_reg(acc), prod));
+        b.end_loop();
+        b.store(dst, {i, j}, b.load_reg(acc));
+        b.end_loop();
+        b.end_loop();
+    };
+
+    matmul("mm1", E, A, B);
+    matmul("mm2", F, C, D);
+    matmul("mm3", G, E, F);
+    return finish(b);
+}
+
+// mvt: x1 += A*y1 ; x2 += A^T*y2
+Function build_mvt(int n) {
+    Builder b("mvt");
+    const int A = b.array("A", {n, n});
+    const int x1 = b.array("x1", {n});
+    const int x2 = b.array("x2", {n});
+    const int y1 = b.array("y1", {n});
+    const int y2 = b.array("y2", {n});
+    const int acc = b.reg("acc");
+
+    b.begin_loop("mv1", n);
+    {
+        const int i = b.indvar();
+        b.store_reg(acc, b.load(x1, {i}));
+        b.begin_loop("mv1_dot", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.add(b.load_reg(acc),
+                                   b.mul(b.load(A, {i, j}), b.load(y1, {j}))));
+        }
+        b.end_loop();
+        b.store(x1, {i}, b.load_reg(acc));
+    }
+    b.end_loop();
+
+    b.begin_loop("mv2", n);
+    {
+        const int i = b.indvar();
+        b.store_reg(acc, b.load(x2, {i}));
+        b.begin_loop("mv2_dot", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.add(b.load_reg(acc),
+                                   b.mul(b.load(A, {j, i}), b.load(y2, {j}))));
+        }
+        b.end_loop();
+        b.store(x2, {i}, b.load_reg(acc));
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// syrk: C = alpha*A*A^T + beta*C
+Function build_syrk(int n) {
+    Builder b("syrk");
+    const int A = b.array("A", {n, n});
+    const int C = b.array("C", {n, n});
+    const int acc = b.reg("acc");
+
+    b.begin_loop("i", n);
+    {
+        const int i = b.indvar();
+        b.begin_loop("j", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.mul(b.load(C, {i, j}), b.constant(kBeta)));
+            b.begin_loop("k", n);
+            {
+                const int k = b.indvar();
+                const int prod = b.mul(b.load(A, {i, k}), b.load(A, {j, k}));
+                b.store_reg(acc, b.add(b.load_reg(acc), b.mul(prod, b.constant(kAlpha))));
+            }
+            b.end_loop();
+            b.store(C, {i, j}, b.load_reg(acc));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// syr2k: C = alpha*(A*B^T + B*A^T) + beta*C
+Function build_syr2k(int n) {
+    Builder b("syr2k");
+    const int A = b.array("A", {n, n});
+    const int B = b.array("B", {n, n});
+    const int C = b.array("C", {n, n});
+    const int acc = b.reg("acc");
+
+    b.begin_loop("i", n);
+    {
+        const int i = b.indvar();
+        b.begin_loop("j", n);
+        {
+            const int j = b.indvar();
+            b.store_reg(acc, b.mul(b.load(C, {i, j}), b.constant(kBeta)));
+            b.begin_loop("k", n);
+            {
+                const int k = b.indvar();
+                const int t1 = b.mul(b.load(A, {i, k}), b.load(B, {j, k}));
+                const int t2 = b.mul(b.load(B, {i, k}), b.load(A, {j, k}));
+                const int both = b.mul(b.add(t1, t2), b.constant(kAlpha));
+                b.store_reg(acc, b.add(b.load_reg(acc), both));
+            }
+            b.end_loop();
+            b.store(C, {i, j}, b.load_reg(acc));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+const std::vector<std::string>& extended_kernel_names() {
+    static const std::vector<std::string> names = {"doitgen", "jacobi2d"};
+    return names;
+}
+
+// doitgen: sum[r][q][p] = sum_s A[r][q][s] * C4[s][p]
+Function build_doitgen(int n) {
+    Builder b("doitgen");
+    const int A = b.array("A", {n, n, n});
+    const int C4 = b.array("C4", {n, n});
+    const int out = b.array("sum", {n, n, n});
+    const int acc = b.reg("acc");
+
+    b.begin_loop("r", n);
+    {
+        const int r = b.indvar();
+        b.begin_loop("q", n);
+        {
+            const int q = b.indvar();
+            b.begin_loop("p", n);
+            {
+                const int pp = b.indvar();
+                b.store_reg(acc, b.constant(0));
+                b.begin_loop("s", n);
+                {
+                    const int ss = b.indvar();
+                    const int prod =
+                        b.mul(b.load(A, {r, q, ss}), b.load(C4, {ss, pp}));
+                    b.store_reg(acc, b.add(b.load_reg(acc), prod));
+                }
+                b.end_loop();
+                b.store(out, {r, q, pp}, b.load_reg(acc));
+            }
+            b.end_loop();
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+// jacobi-2d (one sweep): A[i][j] = (B[i][j] + B[i][j-1] + B[i][j+1]
+//                                   + B[i-1][j] + B[i+1][j]) / 5
+// over the interior; loop indices are offset by +1 into the full array.
+Function build_jacobi2d(int n) {
+    Builder b("jacobi2d");
+    const int Bm = b.array("B", {n, n});
+    const int Am = b.array("A", {n, n});
+    const int interior = std::max(1, n - 2);
+
+    b.begin_loop("i", interior);
+    {
+        const int i = b.add(b.indvar(), b.constant(1));
+        b.begin_loop("j", interior);
+        {
+            const int j = b.add(b.indvar(), b.constant(1));
+            const int left = b.load(Bm, {i, b.sub(j, b.constant(1))});
+            const int right = b.load(Bm, {i, b.add(j, b.constant(1))});
+            const int up = b.load(Bm, {b.sub(i, b.constant(1)), j});
+            const int down = b.load(Bm, {b.add(i, b.constant(1)), j});
+            const int center = b.load(Bm, {i, j});
+            const int sum =
+                b.add(b.add(b.add(center, left), b.add(right, up)), down);
+            b.store(Am, {i, j}, b.div(sum, b.constant(5)));
+        }
+        b.end_loop();
+    }
+    b.end_loop();
+    return finish(b);
+}
+
+ir::Function build_polybench(const std::string& name, int size) {
+    if (size < 2) throw std::invalid_argument("build_polybench: size < 2");
+    if (name == "atax") return build_atax(size);
+    if (name == "bicg") return build_bicg(size);
+    if (name == "gemm") return build_gemm(size);
+    if (name == "gesummv") return build_gesummv(size);
+    if (name == "k2mm" || name == "2mm") return build_2mm(size);
+    if (name == "k3mm" || name == "3mm") return build_3mm(size);
+    if (name == "mvt") return build_mvt(size);
+    if (name == "syrk") return build_syrk(size);
+    if (name == "syr2k") return build_syr2k(size);
+    if (name == "doitgen") return build_doitgen(size);
+    if (name == "jacobi2d") return build_jacobi2d(size);
+    throw std::invalid_argument("build_polybench: unknown kernel '" + name + "'");
+}
+
+} // namespace powergear::kernels

@@ -1,0 +1,42 @@
+// Programmatic IR builders for the nine Polybench kernels the paper
+// evaluates on: atax, bicg, gemm, gesummv, 2mm, 3mm, mvt, syrk, syr2k.
+//
+// Each builder emits the loop nest of the reference C kernel (32-bit integer
+// arithmetic) with scalar accumulator registers, mirroring the IR Vivado HLS
+// would produce before directive-driven optimization. The problem size is a
+// single knob so activity traces stay cheap on one core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace powergear::kernels {
+
+/// Names of the nine Polybench datasets, in the paper's Table I order.
+const std::vector<std::string>& polybench_names();
+
+/// Additional Polybench kernels beyond the paper's nine (extension):
+/// usable as extra training diversity or unseen-kernel stress tests.
+const std::vector<std::string>& extended_kernel_names();
+
+/// Build a Polybench kernel by name ("atax", "bicg", "gemm", "gesummv",
+/// "k2mm", "k3mm", "mvt", "syrk", "syr2k"; "2mm"/"3mm" accepted as aliases).
+/// Throws std::invalid_argument for unknown names.
+ir::Function build_polybench(const std::string& name, int size = 12);
+
+// Individual builders (size = square problem dimension).
+ir::Function build_atax(int size = 12);
+ir::Function build_bicg(int size = 12);
+ir::Function build_gemm(int size = 12);
+ir::Function build_gesummv(int size = 12);
+ir::Function build_2mm(int size = 12);
+ir::Function build_3mm(int size = 12);
+ir::Function build_mvt(int size = 12);
+ir::Function build_syrk(int size = 12);
+ir::Function build_syr2k(int size = 12);
+ir::Function build_doitgen(int size = 8);
+ir::Function build_jacobi2d(int size = 12);
+
+} // namespace powergear::kernels

@@ -1,0 +1,94 @@
+#include "kernels/synthetic.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace powergear::kernels {
+
+using ir::Builder;
+
+namespace {
+
+/// Emit one loop body: load operands from arrays, combine them with a random
+/// arithmetic mix, and store the result back. `ivs` holds the induction
+/// variables of all enclosing loops, innermost last.
+void emit_body(Builder& b, const SyntheticSpec& spec, util::Rng& rng,
+               const std::vector<int>& arrays, const std::vector<int>& ivs) {
+    auto rand_index = [&]() { return ivs[rng.next_below(ivs.size())]; };
+    auto rand_array = [&]() { return arrays[rng.next_below(arrays.size())]; };
+
+    std::vector<int> values;
+    values.push_back(b.load(rand_array(), {rand_index()}));
+    values.push_back(b.load(rand_array(), {rand_index()}));
+
+    for (int k = 0; k < spec.ops_per_body; ++k) {
+        const int a = values[rng.next_below(values.size())];
+        const int c = values[rng.next_below(values.size())];
+        int v;
+        if (rng.next_bool(spec.mul_fraction)) {
+            v = b.mul(a, c);
+        } else {
+            switch (rng.next_below(4)) {
+                case 0: v = b.add(a, c); break;
+                case 1: v = b.sub(a, c); break;
+                case 2: v = b.xor_(a, c); break;
+                default: v = b.add(a, b.constant(rng.next_range(1, 7))); break;
+            }
+        }
+        if (rng.next_bool(spec.cast_fraction)) {
+            // Exercise the graph-trimming path with a narrow-then-widen pair.
+            v = b.sext(b.trunc(v, 16), 32);
+        }
+        values.push_back(v);
+        if (rng.next_bool(0.3))
+            values.push_back(b.load(rand_array(), {rand_index()}));
+    }
+    b.store(rand_array(), {rand_index()}, values.back());
+}
+
+void emit_nest(Builder& b, const SyntheticSpec& spec, util::Rng& rng,
+               const std::vector<int>& arrays, std::vector<int>& ivs,
+               int depth, int& loop_counter) {
+    const int trip = static_cast<int>(rng.next_range(spec.min_trip, spec.max_trip));
+    b.begin_loop("L" + std::to_string(loop_counter++), trip);
+    ivs.push_back(b.indvar());
+    if (depth + 1 < spec.max_depth && rng.next_bool(0.6)) {
+        // Occasionally emit a statement before recursing so bodies are not
+        // purely nested (mirrors Polybench's init-then-compute shape).
+        if (rng.next_bool(0.4)) emit_body(b, spec, rng, arrays, ivs);
+        emit_nest(b, spec, rng, arrays, ivs, depth + 1, loop_counter);
+    } else {
+        emit_body(b, spec, rng, arrays, ivs);
+    }
+    ivs.pop_back();
+    b.end_loop();
+}
+
+} // namespace
+
+ir::Function build_synthetic(const SyntheticSpec& spec, util::Rng& rng, int tag) {
+    Builder b("syn" + std::to_string(tag));
+    // All arrays are 1-D with the maximum trip count so any induction variable
+    // indexes in bounds.
+    std::vector<int> arrays;
+    for (int a = 0; a < std::max(1, spec.num_arrays); ++a)
+        arrays.push_back(
+            b.array("buf" + std::to_string(a), {spec.max_trip}, /*external=*/true));
+
+    int loop_counter = 0;
+    const int num_nests = static_cast<int>(rng.next_range(1, 2));
+    for (int nest = 0; nest < num_nests; ++nest) {
+        std::vector<int> ivs;
+        emit_nest(b, spec, rng, arrays, ivs, 0, loop_counter);
+    }
+    b.ret();
+    ir::Function f = b.build();
+    ir::verify_or_throw(f);
+    return f;
+}
+
+} // namespace powergear::kernels

@@ -1,0 +1,254 @@
+#include "nn/autograd.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace powergear::nn {
+
+int Tape::push(Tensor val, std::function<void(Tape&, int)> backprop) {
+    Node n;
+    n.val = std::move(val);
+    n.backprop = std::move(backprop);
+    nodes_.push_back(std::move(n));
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+Tensor& Tape::grad_buf(int node) {
+    Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.grad.empty()) n.grad = Tensor(n.val.rows(), n.val.cols());
+    return n.grad;
+}
+
+int Tape::input(Tensor v) { return push(std::move(v)); }
+
+int Tape::param(Param* p) {
+    const int id = push(p->w);
+    nodes_[static_cast<std::size_t>(id)].external = p;
+    return id;
+}
+
+int Tape::matmul(int a, int b) {
+    Tensor out = nn::matmul(value(a), value(b));
+    return push(std::move(out), [a, b](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        t.grad_buf(a).add_inplace(matmul_nt(g, t.value(b)));
+        t.grad_buf(b).add_inplace(matmul_tn(t.value(a), g));
+    });
+}
+
+int Tape::add(int a, int b) {
+    if (value(a).rows() != value(b).rows() || value(a).cols() != value(b).cols())
+        throw std::invalid_argument("Tape::add: shape mismatch");
+    Tensor out = value(a);
+    out.add_inplace(value(b));
+    return push(std::move(out), [a, b](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        t.grad_buf(a).add_inplace(g);
+        t.grad_buf(b).add_inplace(g);
+    });
+}
+
+int Tape::add_bias(int x, int bias) {
+    const Tensor& xv = value(x);
+    const Tensor& bv = value(bias);
+    if (bv.rows() != 1 || bv.cols() != xv.cols())
+        throw std::invalid_argument("Tape::add_bias: bias shape");
+    Tensor out = xv;
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
+    return push(std::move(out), [x, bias](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        t.grad_buf(x).add_inplace(g);
+        Tensor& bg = t.grad_buf(bias);
+        for (int r = 0; r < g.rows(); ++r)
+            for (int c = 0; c < g.cols(); ++c) bg.at(0, c) += g.at(r, c);
+    });
+}
+
+int Tape::relu(int x) {
+    Tensor out = value(x);
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c)
+            if (out.at(r, c) < 0.0f) out.at(r, c) = 0.0f;
+    return push(std::move(out), [x](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        const Tensor& y = t.value(self);
+        Tensor& xg = t.grad_buf(x);
+        for (int r = 0; r < g.rows(); ++r)
+            for (int c = 0; c < g.cols(); ++c)
+                if (y.at(r, c) > 0.0f) xg.at(r, c) += g.at(r, c);
+    });
+}
+
+int Tape::dropout(int x, float p, util::Rng& rng, bool training) {
+    if (!training || p <= 0.0f) return x;
+    const float keep = 1.0f - p;
+    const Tensor& xv = value(x);
+    auto mask = std::make_shared<std::vector<float>>(xv.size());
+    Tensor out = xv;
+    float* outd = out.data();
+    for (std::size_t i = 0; i < xv.size(); ++i) {
+        (*mask)[i] = rng.next_double() < keep ? 1.0f / keep : 0.0f;
+        outd[i] *= (*mask)[i];
+    }
+    return push(std::move(out), [x, mask](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        const float* gd = g.data();
+        float* xd = xg.data();
+        for (std::size_t i = 0; i < g.size(); ++i) xd[i] += gd[i] * (*mask)[i];
+    });
+}
+
+int Tape::gather_rows(int x, std::vector<int> idx) {
+    const Tensor& xv = value(x);
+    Tensor out(static_cast<int>(idx.size()), xv.cols());
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c)
+            out.at(r, c) = xv.at(idx[static_cast<std::size_t>(r)], c);
+    auto shared = std::make_shared<std::vector<int>>(std::move(idx));
+    return push(std::move(out), [x, shared](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        for (int r = 0; r < g.rows(); ++r)
+            for (int c = 0; c < g.cols(); ++c)
+                xg.at((*shared)[static_cast<std::size_t>(r)], c) += g.at(r, c);
+    });
+}
+
+int Tape::scatter_add_rows(int x, std::vector<int> idx, int out_rows) {
+    const Tensor& xv = value(x);
+    if (static_cast<int>(idx.size()) != xv.rows())
+        throw std::invalid_argument("Tape::scatter_add_rows: index count");
+    Tensor out(out_rows, xv.cols());
+    for (int r = 0; r < xv.rows(); ++r)
+        for (int c = 0; c < xv.cols(); ++c)
+            out.at(idx[static_cast<std::size_t>(r)], c) += xv.at(r, c);
+    auto shared = std::make_shared<std::vector<int>>(std::move(idx));
+    return push(std::move(out), [x, shared](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        for (int r = 0; r < xg.rows(); ++r)
+            for (int c = 0; c < xg.cols(); ++c)
+                xg.at(r, c) += g.at((*shared)[static_cast<std::size_t>(r)], c);
+    });
+}
+
+int Tape::scale_rows(int x, std::vector<float> weights) {
+    const Tensor& xv = value(x);
+    if (static_cast<int>(weights.size()) != xv.rows())
+        throw std::invalid_argument("Tape::scale_rows: weight count");
+    Tensor out = xv;
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c)
+            out.at(r, c) *= weights[static_cast<std::size_t>(r)];
+    auto shared = std::make_shared<std::vector<float>>(std::move(weights));
+    return push(std::move(out), [x, shared](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        for (int r = 0; r < g.rows(); ++r)
+            for (int c = 0; c < g.cols(); ++c)
+                xg.at(r, c) += g.at(r, c) * (*shared)[static_cast<std::size_t>(r)];
+    });
+}
+
+int Tape::concat_cols(int a, int b) {
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    if (av.rows() != bv.rows())
+        throw std::invalid_argument("Tape::concat_cols: row mismatch");
+    Tensor out(av.rows(), av.cols() + bv.cols());
+    for (int r = 0; r < out.rows(); ++r) {
+        for (int c = 0; c < av.cols(); ++c) out.at(r, c) = av.at(r, c);
+        for (int c = 0; c < bv.cols(); ++c) out.at(r, av.cols() + c) = bv.at(r, c);
+    }
+    const int ac = av.cols();
+    return push(std::move(out), [a, b, ac](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& ag = t.grad_buf(a);
+        Tensor& bg = t.grad_buf(b);
+        for (int r = 0; r < g.rows(); ++r) {
+            for (int c = 0; c < ag.cols(); ++c) ag.at(r, c) += g.at(r, c);
+            for (int c = 0; c < bg.cols(); ++c) bg.at(r, c) += g.at(r, ac + c);
+        }
+    });
+}
+
+int Tape::sum_rows(int x) {
+    const Tensor& xv = value(x);
+    Tensor out(1, xv.cols());
+    for (int r = 0; r < xv.rows(); ++r)
+        for (int c = 0; c < xv.cols(); ++c) out.at(0, c) += xv.at(r, c);
+    return push(std::move(out), [x](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        for (int r = 0; r < xg.rows(); ++r)
+            for (int c = 0; c < xg.cols(); ++c) xg.at(r, c) += g.at(0, c);
+    });
+}
+
+int Tape::scale(int x, float s) {
+    Tensor out = value(x);
+    for (int r = 0; r < out.rows(); ++r)
+        for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= s;
+    return push(std::move(out), [x, s](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        Tensor& xg = t.grad_buf(x);
+        const float* gd = g.data();
+        float* xd = xg.data();
+        for (std::size_t i = 0; i < g.size(); ++i) xd[i] += gd[i] * s;
+    });
+}
+
+int Tape::mape_loss(const std::vector<int>& preds,
+                    const std::vector<float>& targets) {
+    if (preds.size() != targets.size() || preds.empty())
+        throw std::invalid_argument("Tape::mape_loss: size mismatch");
+    double loss = 0.0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+        const float p = value(preds[i]).at(0, 0);
+        const float y = targets[i];
+        if (std::abs(y) < 1e-9f)
+            throw std::invalid_argument("Tape::mape_loss: zero target");
+        loss += std::abs(p - y) / std::abs(y);
+    }
+    Tensor out(1, 1);
+    out.at(0, 0) = static_cast<float>(loss / static_cast<double>(preds.size()));
+    auto ps = std::make_shared<std::vector<int>>(preds);
+    auto ts = std::make_shared<std::vector<float>>(targets);
+    return push(std::move(out), [ps, ts](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        const float gs = g.at(0, 0) / static_cast<float>(ps->size());
+        for (std::size_t i = 0; i < ps->size(); ++i) {
+            const float p = t.value((*ps)[i]).at(0, 0);
+            const float y = (*ts)[i];
+            const float sign = p >= y ? 1.0f : -1.0f;
+            t.grad_buf((*ps)[i]).at(0, 0) += gs * sign / std::abs(y);
+        }
+    });
+}
+
+void Tape::backward(int node) {
+    grad_buf(node).fill(1.0f);
+    for (int i = node; i >= 0; --i) {
+        Node& n = nodes_[static_cast<std::size_t>(i)];
+        if (n.grad.empty()) continue;
+        if (n.backprop) n.backprop(*this, i);
+        if (n.external) n.external->g.add_inplace(n.grad);
+    }
+}
+
+} // namespace powergear::nn

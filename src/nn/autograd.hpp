@@ -1,0 +1,86 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Tape records the forward computation as a DAG of tensor nodes; calling
+// backward(loss) seeds d(loss)=1 and sweeps the tape in reverse, then flushes
+// leaf gradients into their external Param objects. One tape per mini-batch:
+// build, backward, discard.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace powergear::nn {
+
+/// A trainable parameter: value, gradient accumulator and Adam moments.
+struct Param {
+    Tensor w;
+    Tensor g;
+    Tensor m;
+    Tensor v;
+
+    explicit Param(Tensor init)
+        : w(std::move(init)), g(w.rows(), w.cols()), m(w.rows(), w.cols()),
+          v(w.rows(), w.cols()) {}
+
+    void zero_grad() { g.fill(0.0f); }
+};
+
+class Tape {
+public:
+    /// Constant leaf (no gradient flows into it).
+    int input(Tensor v);
+    /// Trainable leaf; backward() accumulates into p->g.
+    int param(Param* p);
+
+    int matmul(int a, int b);
+    /// Elementwise sum of same-shape nodes.
+    int add(int a, int b);
+    /// x (n,d) + bias (1,d) broadcast over rows.
+    int add_bias(int x, int bias);
+    int relu(int x);
+    /// Inverted dropout; pass training=false for a no-op passthrough.
+    int dropout(int x, float p, util::Rng& rng, bool training);
+    /// out[i] = x[idx[i]]  — node -> edge-endpoint gather.
+    int gather_rows(int x, std::vector<int> idx);
+    /// out[idx[i]] += x[i] — edge -> node aggregation.
+    int scatter_add_rows(int x, std::vector<int> idx, int out_rows);
+    /// Row-wise scaling by fixed per-row weights (e.g. GCN normalization).
+    int scale_rows(int x, std::vector<float> weights);
+    int concat_cols(int a, int b);
+    /// Column-wise sum: (n,d) -> (1,d); the sum-pooling readout.
+    int sum_rows(int x);
+    int scale(int x, float s);
+
+    /// Mean absolute percentage error over scalar (1,1) prediction nodes.
+    /// Returns a scalar (1,1) loss node. Targets must be nonzero.
+    int mape_loss(const std::vector<int>& preds, const std::vector<float>& targets);
+
+    void backward(int node);
+
+    const Tensor& value(int node) const {
+        return nodes_[static_cast<std::size_t>(node)].val;
+    }
+    /// Gradient of a node (valid after backward; zero tensor if untouched).
+    const Tensor& grad(int node) const {
+        return nodes_[static_cast<std::size_t>(node)].grad;
+    }
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+private:
+    struct Node {
+        Tensor val;
+        Tensor grad;           ///< lazily sized on first accumulation
+        Param* external = nullptr;
+        std::function<void(Tape&, int)> backprop; ///< adds into parents' grads
+    };
+
+    int push(Tensor val, std::function<void(Tape&, int)> backprop = nullptr);
+    Tensor& grad_buf(int node);
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace powergear::nn

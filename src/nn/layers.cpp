@@ -1,0 +1,21 @@
+#include "nn/layers.hpp"
+
+#include <stdexcept>
+
+namespace powergear::nn {
+
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params) {
+    std::vector<Tensor> snap;
+    snap.reserve(params.size());
+    for (const Param* p : params) snap.push_back(p->w);
+    return snap;
+}
+
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<Tensor>& snapshot) {
+    if (params.size() != snapshot.size())
+        throw std::invalid_argument("restore_params: size mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) params[i]->w = snapshot[i];
+}
+
+} // namespace powergear::nn

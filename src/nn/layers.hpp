@@ -1,0 +1,49 @@
+// Reusable trainable layers built on the autograd tape.
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.hpp"
+
+namespace powergear::nn {
+
+/// Fully connected layer y = xW + b.
+struct Linear {
+    Param weight; ///< (in, out)
+    Param bias;   ///< (1, out)
+
+    Linear(int in, int out, util::Rng& rng)
+        : weight(Tensor::xavier(in, out, rng)), bias(Tensor(1, out)) {}
+
+    int forward(Tape& t, int x) {
+        return t.add_bias(t.matmul(x, t.param(&weight)), t.param(&bias));
+    }
+
+    void collect(std::vector<Param*>& out) {
+        out.push_back(&weight);
+        out.push_back(&bias);
+    }
+};
+
+/// Two-layer perceptron with ReLU in between (the paper's head MLP shape).
+struct Mlp2 {
+    Linear fc1;
+    Linear fc2;
+
+    Mlp2(int in, int hidden, int out, util::Rng& rng)
+        : fc1(in, hidden, rng), fc2(hidden, out, rng) {}
+
+    int forward(Tape& t, int x) { return fc2.forward(t, t.relu(fc1.forward(t, x))); }
+
+    void collect(std::vector<Param*>& out) {
+        fc1.collect(out);
+        fc2.collect(out);
+    }
+};
+
+/// Deep-copy / restore of parameter values (for best-on-validation snapshots).
+std::vector<Tensor> snapshot_params(const std::vector<Param*>& params);
+void restore_params(const std::vector<Param*>& params,
+                    const std::vector<Tensor>& snapshot);
+
+} // namespace powergear::nn

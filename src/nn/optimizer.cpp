@@ -1,0 +1,34 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace powergear::nn {
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+}
+
+void Adam::step() {
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (Param* p : params_) {
+        float* w = p->w.data();
+        const float* g = p->g.data();
+        float* m = p->m.data();
+        float* v = p->v.data();
+        for (std::size_t i = 0; i < p->w.size(); ++i) {
+            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g[i]);
+            v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i]);
+            const double mh = m[i] / bc1;
+            const double vh = v[i] / bc2;
+            w[i] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+        }
+    }
+}
+
+} // namespace powergear::nn

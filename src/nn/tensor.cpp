@@ -1,0 +1,90 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powergear::nn {
+
+Tensor::Tensor(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
+}
+
+void Tensor::fill(float v) {
+    for (auto& x : data_) x = v;
+}
+
+void Tensor::add_inplace(const Tensor& o) {
+    if (o.rows_ != rows_ || o.cols_ != cols_)
+        throw std::invalid_argument("Tensor::add_inplace: shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+}
+
+Tensor Tensor::xavier(int rows, int cols, util::Rng& rng) {
+    Tensor t(rows, cols);
+    const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+    for (auto& x : t.data_) x = rng.next_float(-limit, limit);
+    return t;
+}
+
+Tensor Tensor::from(int rows, int cols, std::vector<float> values) {
+    if (values.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols))
+        throw std::invalid_argument("Tensor::from: value count mismatch");
+    Tensor t(rows, cols);
+    t.data_ = std::move(values);
+    return t;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim");
+    Tensor c(a.rows(), b.cols());
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    for (int i = 0; i < m; ++i) {
+        float* crow = c.row(i);
+        const float* arow = a.row(i);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b.row(p);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+    if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: outer dim");
+    Tensor c(a.cols(), b.cols());
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        const float* brow = b.row(i);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* crow = c.row(p);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+    if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: inner dim");
+    Tensor c(a.rows(), b.rows());
+    const int m = a.rows(), k = a.cols(), n = b.rows();
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (int j = 0; j < n; ++j) {
+            const float* brow = b.row(j);
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] = acc;
+        }
+    }
+    return c;
+}
+
+} // namespace powergear::nn

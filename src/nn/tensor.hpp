@@ -1,0 +1,60 @@
+// Dense 2-D float tensor with the handful of BLAS-ish kernels the GNN stack
+// needs. Row-major, value semantics, no broadcasting magic — shapes are
+// checked and mismatches throw.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace powergear::nn {
+
+class Tensor {
+public:
+    Tensor() = default;
+    Tensor(int rows, int cols, float fill = 0.0f);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float& at(int r, int c) {
+        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+    float at(int r, int c) const {
+        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                     static_cast<std::size_t>(c)];
+    }
+    float* row(int r) {
+        return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+    }
+    const float* row(int r) const {
+        return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+    }
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    void fill(float v);
+    void add_inplace(const Tensor& o); ///< this += o (same shape)
+
+    /// Glorot/Xavier-uniform initialization.
+    static Tensor xavier(int rows, int cols, util::Rng& rng);
+    /// Build from explicit values (row-major), for tests.
+    static Tensor from(int rows, int cols, std::vector<float> values);
+
+private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/// C = A(m,k) * B(k,n)
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T(m,k)->(k,m) * B(m,n)  (used for weight gradients)
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A(m,k) * B^T(n,k)->(k,n)  (used for input gradients)
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+} // namespace powergear::nn

@@ -1,0 +1,94 @@
+// Switching-activity extraction (paper Eq. 2 and Eq. 3).
+//
+// Given the interpreter's per-instruction value traces and an elaborated
+// design, the oracle answers: for any hardware operator instance, what value
+// sequence does it produce, and what sequence does it consume per operand?
+// From those sequences it computes
+//   SA = sum_i HD(v_i, v_{i-1}) / L      (Eq. 2, Hamming-distance toggles)
+//   AR = #changes / L                    (Eq. 3, activation rate)
+// where L is the scheduled design latency in cycles. Unrolled replicas see
+// the iteration subsequence they execute (replica r of an f-way unrolled
+// loop handles iterations congruent to r mod f), so activity features are
+// directive-dependent even though the IR trace is shared.
+//
+// The stats paths are allocation-free and memoized: graph construction and
+// netlist expansion query the same pins repeatedly, and the oracle sits on
+// PowerGear's measured estimation-runtime path (Table I speedup).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hls/elaborate.hpp"
+#include "sim/interpreter.hpp"
+
+namespace powergear::sim {
+
+/// Directional activity statistics over one value stream.
+struct DirStats {
+    double sa = 0.0;  ///< switching activity: total Hamming distance / L
+    double ar = 0.0;  ///< activation rate: value-change count / L
+    int events = 0;   ///< stream length (executions observed)
+};
+
+class ActivityOracle {
+public:
+    ActivityOracle(const ir::Function& fn, const hls::ElabGraph& elab,
+                   const Trace& trace, std::int64_t latency_cycles);
+
+    /// Value stream produced by operator instance `op_id`.
+    std::vector<std::uint32_t> produced_sequence(int op_id) const;
+
+    /// Value stream consumed by `op_id` through its `operand_index`-th input.
+    std::vector<std::uint32_t> consumed_sequence(int op_id, int operand_index) const;
+
+    DirStats produced(int op_id) const;
+    DirStats consumed(int op_id, int operand_index) const;
+
+    /// Stats over an arbitrary stream (exposed for tests and the board model).
+    static DirStats stats_of(const std::vector<std::uint32_t>& stream,
+                             std::int64_t latency);
+
+    std::int64_t latency() const { return latency_; }
+
+private:
+    /// Deepest loop nesting the oracle supports (Polybench needs 3).
+    static constexpr int kMaxChainDepth = 16;
+
+    struct ChainInfo {
+        std::vector<int> loops;   ///< outermost first
+        std::vector<int> trips;
+        std::vector<int> unrolls;
+    };
+
+    /// Decompose execution index s into loop coordinates (caller buffer).
+    void coords_of(const ChainInfo& ci, std::int64_t s, int* coords) const;
+    /// Replica handled at coordinates (coord % unroll digits composed).
+    int replica_at(const ChainInfo& ci, const int* coords) const;
+
+    /// Execution indices handled by (instr, replica); built lazily.
+    const std::vector<std::int64_t>& executions(int instr, int replica) const;
+
+    /// Iterate the execution indices of (instr, replica) without
+    /// materializing a list for the unreplicated common case.
+    template <typename Fn>
+    void for_each_execution(int instr, int replica, Fn&& visit) const;
+
+    /// Stream the values consumed via one pin without materializing them.
+    template <typename Fn>
+    void visit_consumed(int op_id, int operand_index, Fn&& visit) const;
+
+    const ir::Function& fn_;
+    const hls::ElabGraph& elab_;
+    const Trace& trace_;
+    std::int64_t latency_;
+    std::vector<ChainInfo> chains_; ///< per instruction
+    mutable std::vector<std::vector<std::vector<std::int64_t>>> exec_cache_;
+    mutable std::vector<std::optional<DirStats>> produced_cache_;
+    mutable std::map<std::pair<int, int>, DirStats> consumed_cache_;
+};
+
+} // namespace powergear::sim

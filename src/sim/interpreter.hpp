@@ -1,0 +1,49 @@
+// IR interpreter with per-instruction value tracing.
+//
+// Plays the role of the paper's instrumented-IR executable: the kernel runs
+// on concrete stimuli and every SSA variable's value is recorded per
+// execution. The traces feed Eq. (2)/(3) switching-activity extraction and
+// the gate-level activity accounting of the synthetic board.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace powergear::sim {
+
+/// Recorded execution history. For value-producing instructions the entries
+/// are results; for stores they are the written values; empty for Ret.
+struct Trace {
+    std::vector<std::vector<std::uint32_t>> values; ///< per instruction id
+    std::int64_t executed_ops = 0;                  ///< dynamic op count
+
+    const std::vector<std::uint32_t>& of(int instr) const {
+        return values.at(static_cast<std::size_t>(instr));
+    }
+};
+
+/// Executes one Function. Arrays persist across run() calls so multi-phase
+/// kernels (init loop + compute loops) behave like the C reference.
+class Interpreter {
+public:
+    explicit Interpreter(const ir::Function& fn);
+    /// The interpreter keeps a reference to `fn`; binding a temporary would
+    /// dangle, so rvalues are rejected at compile time.
+    explicit Interpreter(ir::Function&&) = delete;
+
+    /// Fill an array's backing store (size must match the declaration).
+    void set_array(int array_id, std::vector<std::uint32_t> data);
+    const std::vector<std::uint32_t>& array(int array_id) const;
+
+    /// Execute the function once. When `record` is set, returns the full
+    /// per-instruction value trace (required for activity extraction).
+    Trace run(bool record = true);
+
+private:
+    const ir::Function& fn_;
+    std::vector<std::vector<std::uint32_t>> memory_; ///< per array
+};
+
+} // namespace powergear::sim

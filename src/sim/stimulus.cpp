@@ -1,0 +1,37 @@
+#include "sim/stimulus.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace powergear::sim {
+
+void apply_stimulus(Interpreter& interp, const ir::Function& fn,
+                    const StimulusProfile& profile) {
+    util::Rng rng(profile.seed);
+    const int bits = std::clamp(profile.active_bits, 1, 32);
+    const std::uint32_t mask =
+        bits >= 32 ? 0xffffffffu : ((1u << bits) - 1u);
+    const double corr = std::clamp(profile.correlation, 0.0, 0.999);
+
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a) {
+        const ir::ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(a)];
+        if (!decl.is_external) continue;
+        std::vector<std::uint32_t> data(
+            static_cast<std::size_t>(decl.num_elements()));
+        std::uint32_t prev = rng.next_u32() & mask;
+        for (auto& v : data) {
+            if (rng.next_bool(corr)) {
+                // Correlated sample: small delta from the previous element.
+                const std::uint32_t delta = rng.next_u32() & (mask >> 3);
+                v = (prev + delta) & mask;
+            } else {
+                v = rng.next_u32() & mask;
+            }
+            prev = v;
+        }
+        interp.set_array(a, std::move(data));
+    }
+}
+
+} // namespace powergear::sim

@@ -1,0 +1,29 @@
+// Testbench stimulus generation.
+//
+// The paper links testbenches with input stimuli against the instrumented IR
+// to collect value traces. Here stimuli are synthesized deterministically per
+// dataset: a profile controls magnitude (how many low bits are active) and
+// temporal correlation (how much consecutive elements resemble each other),
+// which together set the realistic range of switching densities.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/ir.hpp"
+#include "sim/interpreter.hpp"
+
+namespace powergear::sim {
+
+/// Statistical profile of generated input data.
+struct StimulusProfile {
+    int active_bits = 16;      ///< values drawn from [0, 2^active_bits)
+    double correlation = 0.25; ///< 0 = white noise, ->1 = slowly varying
+    std::uint64_t seed = 1;
+};
+
+/// Fill every external array of `fn` with profile-shaped data; internal
+/// arrays are zero-initialized (they are produced by the kernel itself).
+void apply_stimulus(Interpreter& interp, const ir::Function& fn,
+                    const StimulusProfile& profile);
+
+} // namespace powergear::sim

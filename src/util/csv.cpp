@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace powergear::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size())
+        throw std::invalid_argument("Table: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::to_ascii() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](char fill, char sep) {
+        std::string s(1, sep);
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            s += std::string(width[c] + 2, fill);
+            s += sep;
+        }
+        return s + "\n";
+    };
+    auto render_row = [&](const std::vector<std::string>& r) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            s += ' ' + r[c] + std::string(width[c] - r[c].size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::string out = line('-', '+');
+    out += render_row(header_);
+    out += line('=', '+');
+    for (const auto& r : rows_) out += render_row(r);
+    out += line('-', '+');
+    return out;
+}
+
+std::string Table::to_csv() const {
+    auto quote = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"') q += "\"\"";
+            else q += ch;
+        }
+        return q + "\"";
+    };
+    std::string out;
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c) out += ',';
+            out += quote(r[c]);
+        }
+        out += '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+    return out;
+}
+
+bool Table::save_csv(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << to_csv();
+    return static_cast<bool>(f);
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+    return os << t.to_ascii();
+}
+
+} // namespace powergear::util

@@ -1,0 +1,117 @@
+// Public API (core::PowerGear) tests: end-to-end fit/estimate on generated
+// datasets, transferability, option plumbing and error handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/powergear.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
+
+using namespace powergear;
+using core::PowerGear;
+
+namespace {
+
+/// A small cached suite shared by the tests in this file.
+const std::vector<dataset::Dataset>& suite() {
+    static const std::vector<dataset::Dataset> s = [] {
+        dataset::GeneratorOptions o;
+        o.samples_per_dataset = 10;
+        o.problem_size = 8;
+        std::vector<dataset::Dataset> out;
+        for (const char* k : {"gemm", "atax", "mvt"})
+            out.push_back(dataset::generate_dataset(k, o));
+        return out;
+    }();
+    return s;
+}
+
+PowerGear::Options quick_opts(dataset::PowerKind kind) {
+    PowerGear::Options o;
+    o.kind = kind;
+    o.epochs = 60;
+    o.folds = 2;
+    o.learning_rate = 2e-3;
+    return o;
+}
+
+} // namespace
+
+TEST(PowerGearApi, LearnsTotalPowerOnUnseenKernel) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Total));
+    pg.fit(dataset::pool_except(suite(), 2));
+    const double err = pg.evaluate_mape(dataset::pool_of(suite()[2]));
+    EXPECT_LT(err, 25.0); // unseen kernel, tiny training set: loose bound
+    EXPECT_EQ(pg.num_members(), 2);
+}
+
+TEST(PowerGearApi, EstimateMatchesEvaluateScale) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Dynamic));
+    pg.fit(dataset::pool_except(suite(), 0));
+    const auto& s = suite()[0].samples.front();
+    const double est = pg.estimate(s);
+    EXPECT_TRUE(std::isfinite(est));
+    // A trained dynamic model should predict within an order of magnitude.
+    EXPECT_GT(est, s.dynamic_power_w / 10.0);
+    EXPECT_LT(est, s.dynamic_power_w * 10.0);
+}
+
+TEST(PowerGearApi, BaselineConvKindsWork) {
+    for (gnn::ConvKind kind :
+         {gnn::ConvKind::Gcn, gnn::ConvKind::Sage, gnn::ConvKind::GraphConv,
+          gnn::ConvKind::Gine}) {
+        PowerGear::Options o = quick_opts(dataset::PowerKind::Dynamic);
+        o.conv = kind;
+        o.folds = 1;
+        o.epochs = 15;
+        PowerGear pg(o);
+        pg.fit(dataset::pool_except(suite(), 1));
+        EXPECT_TRUE(std::isfinite(pg.estimate(suite()[1].samples.front())))
+            << gnn::conv_kind_name(kind);
+    }
+}
+
+TEST(PowerGearApi, EstimateBeforeFitThrows) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Total));
+    EXPECT_THROW(pg.estimate(suite()[0].samples.front()), std::logic_error);
+}
+
+TEST(PowerGearApi, FitRejectsEmptyPool) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Total));
+    EXPECT_THROW(pg.fit({}), std::invalid_argument);
+}
+
+TEST(PowerGearApi, OptionsFromBenchScale) {
+    util::BenchScale s{};
+    s.hidden_dim = 24;
+    s.layers = 2;
+    s.epochs_total = 77;
+    s.epochs_dynamic = 154;
+    s.folds = 3;
+    s.seeds = 2;
+    s.learning_rate = 1e-3;
+    s.dropout = 0.1;
+    s.batch_size = 16;
+    const auto total =
+        PowerGear::Options::from_bench_scale(s, dataset::PowerKind::Total);
+    EXPECT_EQ(total.hidden, 24);
+    EXPECT_EQ(total.epochs, 77);
+    EXPECT_EQ(total.folds, 3);
+    const auto dyn =
+        PowerGear::Options::from_bench_scale(s, dataset::PowerKind::Dynamic);
+    EXPECT_EQ(dyn.epochs, 154);
+    EXPECT_EQ(dyn.kind, dataset::PowerKind::Dynamic);
+}
+
+TEST(PowerGearApi, AblationOptionsPropagate) {
+    PowerGear::Options o = quick_opts(dataset::PowerKind::Dynamic);
+    o.edge_features = false;
+    o.metadata = false;
+    o.folds = 1;
+    o.epochs = 10;
+    PowerGear pg(o);
+    pg.fit(dataset::pool_except(suite(), 2));
+    EXPECT_EQ(pg.num_members(), 1);
+    EXPECT_TRUE(std::isfinite(pg.estimate(suite()[2].samples.front())));
+}

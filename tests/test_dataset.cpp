@@ -1,0 +1,144 @@
+// Dataset generation tests: determinism, label sanity, trace sharing
+// benefits, splits and feature collection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
+#include "kernels/synthetic.hpp"
+
+using namespace powergear;
+using dataset::Dataset;
+using dataset::GeneratorOptions;
+using dataset::PowerKind;
+using dataset::Sample;
+
+namespace {
+
+GeneratorOptions quick_opts(int samples = 5) {
+    GeneratorOptions o;
+    o.samples_per_dataset = samples;
+    o.problem_size = 6;
+    return o;
+}
+
+} // namespace
+
+TEST(Generator, DeterministicForSeed) {
+    const Dataset a = dataset::generate_dataset("atax", quick_opts());
+    const Dataset b = dataset::generate_dataset("atax", quick_opts());
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 0; i < a.size(); ++i) {
+        const Sample& sa = a.samples[static_cast<std::size_t>(i)];
+        const Sample& sb = b.samples[static_cast<std::size_t>(i)];
+        EXPECT_DOUBLE_EQ(sa.total_power_w, sb.total_power_w);
+        EXPECT_DOUBLE_EQ(sa.dynamic_power_w, sb.dynamic_power_w);
+        EXPECT_EQ(sa.latency_cycles, sb.latency_cycles);
+        EXPECT_EQ(sa.graph.num_nodes, sb.graph.num_nodes);
+        EXPECT_EQ(sa.directives.to_string(), sb.directives.to_string());
+    }
+}
+
+TEST(Generator, DistinctDesignPointsProduceDistinctLabels) {
+    const Dataset ds = dataset::generate_dataset("gemm", quick_opts(8));
+    std::set<std::string> configs;
+    std::set<double> powers;
+    for (const Sample& s : ds.samples) {
+        configs.insert(s.directives.to_string());
+        powers.insert(s.total_power_w);
+    }
+    EXPECT_EQ(configs.size(), 8u);
+    EXPECT_GE(powers.size(), 7u); // distinct implementations, distinct power
+}
+
+TEST(Generator, LabelsAreConsistent) {
+    const Dataset ds = dataset::generate_dataset("bicg", quick_opts());
+    for (const Sample& s : ds.samples) {
+        EXPECT_GT(s.dynamic_power_w, 0.0);
+        EXPECT_GT(s.static_power_w, 0.0);
+        EXPECT_NEAR(s.total_power_w, s.dynamic_power_w + s.static_power_w, 1e-9);
+        EXPECT_GT(s.latency_cycles, 0);
+        EXPECT_EQ(s.metadata.size(), static_cast<std::size_t>(hls::kMetadataDim));
+        EXPECT_FALSE(s.hlpow_feats.empty());
+        EXPECT_GT(s.powergear_runtime_s, 0.0);
+        EXPECT_GT(s.vivado_runtime_s, 0.0);
+        EXPECT_FLOAT_EQ(s.label(PowerKind::Total),
+                        static_cast<float>(s.total_power_w));
+        EXPECT_FLOAT_EQ(s.label(PowerKind::Dynamic),
+                        static_cast<float>(s.dynamic_power_w));
+        std::string why;
+        EXPECT_TRUE(s.graph.valid(&why)) << why;
+    }
+}
+
+TEST(Generator, RunVivadoFlagSkipsBaseline) {
+    GeneratorOptions o = quick_opts(3);
+    o.run_vivado = false;
+    const Dataset ds = dataset::generate_dataset("mvt", o);
+    for (const Sample& s : ds.samples) {
+        EXPECT_DOUBLE_EQ(s.vivado_total_raw, 0.0);
+        EXPECT_DOUBLE_EQ(s.vivado_runtime_s, 0.0);
+    }
+}
+
+TEST(Generator, WorksOnSyntheticKernels) {
+    util::Rng rng(5);
+    const ir::Function fn =
+        kernels::build_synthetic(kernels::SyntheticSpec{}, rng, 1);
+    GeneratorOptions o = quick_opts(4);
+    const Dataset ds = dataset::generate_dataset_for(fn, o);
+    EXPECT_EQ(ds.size(), 4);
+    EXPECT_EQ(ds.name, fn.name);
+    for (const Sample& s : ds.samples) EXPECT_GT(s.total_power_w, 0.0);
+}
+
+TEST(Generator, AvgNodesPositive) {
+    const Dataset ds = dataset::generate_dataset("syrk", quick_opts(3));
+    EXPECT_GT(ds.avg_nodes(), 1.0);
+}
+
+TEST(Splits, PoolExceptExcludesOnlyHeldOut) {
+    std::vector<Dataset> suite;
+    for (const char* k : {"atax", "gemm", "mvt"})
+        suite.push_back(dataset::generate_dataset(k, quick_opts(3)));
+    const auto pool = dataset::pool_except(suite, 1);
+    EXPECT_EQ(pool.size(), 6u);
+    for (const Sample* s : pool) EXPECT_NE(s->kernel, "gemm");
+    const auto own = dataset::pool_of(suite[1]);
+    EXPECT_EQ(own.size(), 3u);
+    for (const Sample* s : own) EXPECT_EQ(s->kernel, "gemm");
+}
+
+TEST(Splits, CollectExtractsParallelArrays) {
+    const Dataset ds = dataset::generate_dataset("gesummv", quick_opts(4));
+    const auto pool = dataset::pool_of(ds);
+    std::vector<const gnn::GraphTensors*> graphs;
+    std::vector<float> labels;
+    dataset::collect(pool, PowerKind::Dynamic, graphs, labels);
+    ASSERT_EQ(graphs.size(), 4u);
+    ASSERT_EQ(labels.size(), 4u);
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        EXPECT_EQ(graphs[i], &pool[i]->tensors);
+        EXPECT_FLOAT_EQ(labels[i], static_cast<float>(pool[i]->dynamic_power_w));
+    }
+    std::vector<std::vector<float>> feats;
+    dataset::collect_hlpow(pool, PowerKind::Total, feats, labels);
+    EXPECT_EQ(feats.size(), 4u);
+    EXPECT_EQ(feats[0], pool[0]->hlpow_feats);
+}
+
+TEST(Generator, StimulusProfileAffectsActivityLabels) {
+    GeneratorOptions low = quick_opts(3);
+    low.stimulus.active_bits = 4;
+    GeneratorOptions high = quick_opts(3);
+    high.stimulus.active_bits = 28;
+    const Dataset ds_low = dataset::generate_dataset("atax", low);
+    const Dataset ds_high = dataset::generate_dataset("atax", high);
+    double dyn_low = 0.0, dyn_high = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        dyn_low += ds_low.samples[static_cast<std::size_t>(i)].dynamic_power_w;
+        dyn_high += ds_high.samples[static_cast<std::size_t>(i)].dynamic_power_w;
+    }
+    EXPECT_LT(dyn_low, dyn_high); // wider data toggles more bits
+}

@@ -1,0 +1,151 @@
+// DSE tests: Pareto dominance/frontier, ADRS (Eq. 8) and the iterative
+// prediction-guided explorer, including the "better predictor => better
+// frontier" property that underlies Table III.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dse/adrs.hpp"
+#include "dse/explorer.hpp"
+#include "dse/pareto.hpp"
+#include "util/rng.hpp"
+
+using namespace powergear::dse;
+using powergear::util::Rng;
+
+namespace {
+
+std::vector<Point> convex_cloud(int n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Point> pts;
+    for (int i = 0; i < n; ++i) {
+        const double lat = rng.next_float(1.0f, 100.0f);
+        // Power roughly trades off against latency plus noise.
+        const double pow_w = 200.0 / lat + rng.next_float(0.0f, 3.0f);
+        pts.push_back({lat, pow_w, i});
+    }
+    return pts;
+}
+
+} // namespace
+
+TEST(Pareto, DominatesDefinition) {
+    EXPECT_TRUE(dominates({1, 1, 0}, {2, 2, 1}));
+    EXPECT_TRUE(dominates({1, 2, 0}, {1, 3, 1}));
+    EXPECT_FALSE(dominates({1, 1, 0}, {1, 1, 1})); // equal: no strict better
+    EXPECT_FALSE(dominates({1, 3, 0}, {2, 2, 1})); // trade-off
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted) {
+    const auto pts = convex_cloud(200, 3);
+    const auto front = pareto_front(pts);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GT(front[i].latency, front[i - 1].latency);
+        EXPECT_LT(front[i].power, front[i - 1].power);
+    }
+    for (const Point& f : front)
+        for (const Point& p : pts)
+            EXPECT_FALSE(dominates(p, f));
+}
+
+TEST(Pareto, HandlesDuplicatesAndSingletons) {
+    const std::vector<Point> dup = {{1, 1, 0}, {1, 1, 1}, {2, 2, 2}};
+    EXPECT_EQ(pareto_front(dup).size(), 1u);
+    EXPECT_EQ(pareto_front({{5, 5, 0}}).size(), 1u);
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Adrs, ZeroWhenFrontsIdentical) {
+    const auto pts = convex_cloud(100, 5);
+    const auto front = pareto_front(pts);
+    EXPECT_DOUBLE_EQ(adrs(front, front), 0.0);
+}
+
+TEST(Adrs, PositiveForWorseFront) {
+    const auto pts = convex_cloud(100, 7);
+    const auto exact = pareto_front(pts);
+    std::vector<Point> worse = exact;
+    for (Point& p : worse) p.power *= 1.5;
+    // Every approximate point costs 50% more power at equal latency, so the
+    // ADRS is positive; neighbouring frontier points can offer a smaller
+    // worst-gap, so 0.5 is an upper bound, not the value.
+    EXPECT_GT(adrs(exact, worse), 0.0);
+    EXPECT_LE(adrs(exact, worse), 0.5 + 1e-12);
+}
+
+TEST(Adrs, EmptyFrontConventions) {
+    const auto pts = convex_cloud(10, 9);
+    const auto front = pareto_front(pts);
+    EXPECT_DOUBLE_EQ(adrs({}, front), 0.0);
+    EXPECT_TRUE(std::isinf(adrs(front, {})));
+}
+
+TEST(Adrs, DistanceIsWorstRelativeGap) {
+    EXPECT_DOUBLE_EQ(adrs_distance({10, 1, 0}, {12, 1, 1}), 0.2);
+    EXPECT_DOUBLE_EQ(adrs_distance({10, 1, 0}, {10, 1.3, 1}), 0.3);
+    EXPECT_DOUBLE_EQ(adrs_distance({10, 1, 0}, {8, 0.9, 1}), 0.0); // better
+}
+
+TEST(Explorer, RespectsBudget) {
+    const auto truth = convex_cloud(100, 11);
+    ExplorerConfig cfg;
+    cfg.total_budget = 0.3;
+    const DseResult res = explore(truth, truth, cfg);
+    EXPECT_LE(res.sampled.size(), 31u);
+    EXPECT_GE(res.sampled.size(), 28u);
+    // No duplicates.
+    std::set<int> s(res.sampled.begin(), res.sampled.end());
+    EXPECT_EQ(s.size(), res.sampled.size());
+}
+
+TEST(Explorer, PerfectPredictorFindsExactFrontQuickly) {
+    const auto truth = convex_cloud(150, 13);
+    ExplorerConfig cfg;
+    cfg.total_budget = 0.35;
+    const DseResult res = explore(truth, truth, cfg);
+    // With a perfect predictor the true frontier points are promoted first.
+    EXPECT_NEAR(res.adrs_value, 0.0, 1e-9);
+}
+
+TEST(Explorer, BetterPredictorGivesLowerAdrs) {
+    const auto truth = convex_cloud(200, 17);
+    Rng rng(19);
+    auto noisy = [&](double sigma) {
+        std::vector<Point> pred = truth;
+        for (Point& p : pred)
+            p.power = std::max(0.01, p.power * (1.0 + sigma * rng.next_gaussian()));
+        return pred;
+    };
+    const auto slightly = noisy(0.05);
+    const auto badly = noisy(0.8);
+    ExplorerConfig cfg;
+    cfg.total_budget = 0.25;
+    double good_sum = 0.0, bad_sum = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        cfg.seed = seed;
+        good_sum += explore(slightly, truth, cfg).adrs_value;
+        bad_sum += explore(badly, truth, cfg).adrs_value;
+    }
+    EXPECT_LE(good_sum, bad_sum);
+}
+
+TEST(Explorer, FullBudgetReachesExactFront) {
+    const auto truth = convex_cloud(80, 23);
+    // Even a terrible predictor finds the exact frontier with 100% budget.
+    std::vector<Point> anti = truth;
+    for (Point& p : anti) p.power = -p.power;
+    ExplorerConfig cfg;
+    cfg.total_budget = 1.0;
+    const DseResult res = explore(anti, truth, cfg);
+    EXPECT_NEAR(res.adrs_value, 0.0, 1e-9);
+}
+
+TEST(Explorer, RejectsBadInput) {
+    EXPECT_THROW(explore({}, {}, {}), std::invalid_argument);
+    const auto pts = convex_cloud(5, 29);
+    auto fewer = pts;
+    fewer.pop_back();
+    EXPECT_THROW(explore(pts, fewer, {}), std::invalid_argument);
+}

@@ -1,0 +1,185 @@
+// Edge-case and failure-injection tests across modules: escaping values
+// under unrolling, degenerate design spaces, adversarial graphs into the
+// models, and defensive error paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/model.hpp"
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/activity.hpp"
+#include "sim/interpreter.hpp"
+
+using namespace powergear;
+
+TEST(EdgeCases, EscapingValueResolvesToFinalIteration) {
+    // A value produced inside a loop and consumed after it must deliver the
+    // last iteration's value — both in simulation and in the activity
+    // oracle's consumed stream.
+    ir::Builder b("escape");
+    const int a = b.array("A", {8});
+    const int out = b.array("O", {1});
+    int inner_val = -1;
+    b.begin_loop("L", 8);
+    inner_val = b.add(b.load(a, {b.indvar()}), b.constant(100));
+    b.end_loop();
+    b.store(out, {b.constant(0)}, inner_val);
+    const ir::Function fn = b.build();
+
+    sim::Interpreter interp(fn);
+    interp.set_array(a, {1, 2, 3, 4, 5, 6, 7, 9});
+    const sim::Trace trace = interp.run();
+    EXPECT_EQ(interp.array(out)[0], 109u);
+
+    // Unroll 2: the store consumes the escaping value from the last replica.
+    hls::Directives dirs;
+    dirs.loops[0] = {2, false};
+    const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+    const sim::ActivityOracle oracle(fn, elab, trace, 100);
+    int store_op = -1;
+    for (int o = 0; o < elab.num_ops(); ++o)
+        if (elab.ops[static_cast<std::size_t>(o)].op == ir::Opcode::Store &&
+            elab.ops[static_cast<std::size_t>(o)].array == out)
+            store_op = o;
+    ASSERT_GE(store_op, 0);
+    const auto consumed = oracle.consumed_sequence(store_op, 1);
+    ASSERT_EQ(consumed.size(), 1u);
+    EXPECT_EQ(consumed[0], 109u);
+}
+
+TEST(EdgeCases, TripCountOneLoop) {
+    ir::Builder b("once");
+    const int a = b.array("A", {1});
+    b.begin_loop("L", 1);
+    b.store(a, {b.constant(0)}, b.add(b.indvar(), b.constant(5)));
+    b.end_loop();
+    const ir::Function fn = b.build();
+    EXPECT_TRUE(ir::verify(fn).ok);
+    sim::Interpreter interp(fn);
+    interp.run(false);
+    EXPECT_EQ(interp.array(a)[0], 5u);
+
+    const hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    EXPECT_GT(sched.total_latency, 0);
+}
+
+TEST(EdgeCases, DesignSpaceOfKernelWithoutArrays) {
+    // A pure-register kernel has no partitionable arrays and only loops.
+    ir::Builder b("regs");
+    const int acc = b.reg("acc");
+    b.store_reg(acc, b.constant(0));
+    b.begin_loop("L", 4);
+    b.store_reg(acc, b.add(b.load_reg(acc), b.indvar()));
+    b.end_loop();
+    const ir::Function fn = b.build();
+    const hls::DesignSpace space(fn);
+    EXPECT_EQ(space.num_tunable_arrays(), 0);
+    EXPECT_GE(space.size(), 2u); // pipeline on/off at least
+    for (std::uint64_t i = 0; i < space.size(); ++i)
+        EXPECT_TRUE(space.point(i).array_partition.empty());
+}
+
+TEST(EdgeCases, EmptyLoopBodyGraph) {
+    ir::Builder b("empty");
+    b.begin_loop("L", 4);
+    b.end_loop();
+    b.ret();
+    const ir::Function fn = b.build();
+    EXPECT_TRUE(ir::verify(fn).ok);
+
+    sim::Interpreter interp(fn);
+    const sim::Trace trace = interp.run();
+    const hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    const hls::Binding binding = hls::bind(fn, elab, sched);
+    const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+    const graphgen::Graph g =
+        graphgen::construct_graph(fn, elab, binding, oracle);
+    std::string why;
+    EXPECT_TRUE(g.valid(&why)) << why; // possibly empty, but structurally sane
+}
+
+TEST(EdgeCases, ModelHandlesGraphWithNoEdges) {
+    gnn::ModelConfig cfg;
+    cfg.node_dim = graphgen::node_feature_dim(ir::opcode_count() + 1);
+    cfg.hidden = 4;
+    cfg.layers = 2;
+    cfg.dropout = 0.0f;
+    gnn::PowerModel model(cfg);
+
+    graphgen::Graph g;
+    g.num_nodes = 3;
+    g.node_dim = cfg.node_dim;
+    g.x.assign(static_cast<std::size_t>(g.num_nodes * g.node_dim), 0.5f);
+    g.labels = {"a", "b", "c"};
+    const gnn::GraphTensors t =
+        gnn::GraphTensors::from(g, std::vector<double>(10, 1.0));
+    EXPECT_TRUE(std::isfinite(model.predict(t)));
+}
+
+TEST(EdgeCases, ModelHandlesSingleNodeGraph) {
+    gnn::ModelConfig cfg;
+    cfg.node_dim = graphgen::node_feature_dim(ir::opcode_count() + 1);
+    cfg.hidden = 4;
+    cfg.layers = 3;
+    cfg.dropout = 0.0f;
+    gnn::PowerModel model(cfg);
+
+    graphgen::Graph g;
+    g.num_nodes = 1;
+    g.node_dim = cfg.node_dim;
+    g.x.assign(static_cast<std::size_t>(g.node_dim), 1.0f);
+    g.labels = {"solo"};
+    graphgen::Graph::Edge self;
+    self.src = self.dst = 0;
+    self.relation = 3;
+    self.feat = {1.0f, 0.5f, 1.0f, 0.5f};
+    g.edges.push_back(self); // self-loop must not break aggregation
+    const gnn::GraphTensors t =
+        gnn::GraphTensors::from(g, std::vector<double>(10, 1.0));
+    EXPECT_TRUE(std::isfinite(model.predict(t)));
+}
+
+TEST(EdgeCases, ActivityOracleOnZeroLatency) {
+    // Latency is clamped to >= 1, so stats never divide by zero.
+    const ir::Function fn = kernels::build_polybench("gemm", 4);
+    sim::Interpreter interp(fn);
+    const sim::Trace trace = interp.run();
+    const hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    const sim::ActivityOracle oracle(fn, elab, trace, 0);
+    EXPECT_EQ(oracle.latency(), 1);
+    for (int o = 0; o < std::min(5, elab.num_ops()); ++o)
+        EXPECT_TRUE(std::isfinite(oracle.produced(o).sa));
+}
+
+TEST(EdgeCases, HugeUnrollEqualsTripCount) {
+    // Fully unrolling a loop removes the iteration dimension entirely.
+    const ir::Function fn = kernels::build_polybench("gesummv", 8);
+    hls::Directives dirs;
+    for (int l : fn.innermost_loops()) dirs.loops[l] = {8, false};
+    const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    for (int l : fn.innermost_loops()) {
+        // One "iteration" of the unrolled body.
+        const auto& ls = sched.loops[static_cast<std::size_t>(l)];
+        EXPECT_GE(ls.total_latency, ls.iteration_latency);
+    }
+    EXPECT_GT(elab.num_ops(), 0);
+}
+
+TEST(EdgeCases, MetadataRatiosHandleZeroBaseline) {
+    hls::HlsReport cur;
+    cur.lut = 100;
+    cur.latency_cycles = 10;
+    cur.clock_ns = 4.0;
+    hls::HlsReport zero; // all zeros
+    const auto meta = hls::metadata_features(cur, zero);
+    for (double v : meta) EXPECT_TRUE(std::isfinite(v));
+}

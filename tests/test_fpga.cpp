@@ -1,0 +1,245 @@
+// FPGA substrate tests: netlist expansion, SA placement, the power model
+// (Eq. 1 structure, power gating), board determinism and the Vivado-like
+// estimator with linear recalibration.
+#include <gtest/gtest.h>
+
+#include "fpga/board.hpp"
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/power_model.hpp"
+#include "fpga/vivado_like.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+
+using namespace powergear;
+
+namespace {
+
+struct Impl {
+    ir::Function fn;
+    sim::Trace trace;
+    hls::ElabGraph elab;
+    hls::Schedule sched;
+    hls::Binding binding;
+    hls::HlsReport report;
+
+    explicit Impl(const std::string& kernel, int size = 8,
+                  const hls::Directives& dirs = {})
+        : fn(kernels::build_polybench(kernel, size)) {
+        sim::Interpreter interp(fn);
+        sim::apply_stimulus(interp, fn, {});
+        trace = interp.run();
+        elab = hls::elaborate(fn, dirs);
+        sched = hls::schedule(fn, elab);
+        binding = hls::bind(fn, elab, sched);
+        report = hls::make_report(fn, elab, sched, binding);
+    }
+
+    sim::ActivityOracle oracle() const {
+        return sim::ActivityOracle(fn, elab, trace, sched.total_latency);
+    }
+};
+
+} // namespace
+
+TEST(Netlist, CellsAndNetsWellFormed) {
+    Impl impl("gemm");
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    EXPECT_GT(nl.num_cells(), 3);
+    EXPECT_FALSE(nl.nets.empty());
+    bool has_mem = false, has_control = false;
+    for (const auto& c : nl.cells) {
+        EXPECT_GE(c.area, 1);
+        if (c.kind == fpga::CellKind::MemBank) has_mem = true;
+        if (c.kind == fpga::CellKind::Control) has_control = true;
+    }
+    EXPECT_TRUE(has_mem);
+    EXPECT_TRUE(has_control);
+    for (const auto& n : nl.nets) {
+        ASSERT_GE(n.driver, 0);
+        ASSERT_LT(n.driver, nl.num_cells());
+        EXPECT_FALSE(n.sinks.empty());
+        EXPECT_GE(n.toggles_per_cycle, 0.0);
+        for (int s : n.sinks) {
+            ASSERT_GE(s, 0);
+            ASSERT_LT(s, nl.num_cells());
+            EXPECT_NE(s, n.driver);
+        }
+    }
+}
+
+TEST(Placement, DeterministicForSeed) {
+    Impl impl("atax");
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    fpga::PlacementOptions opts;
+    opts.seed = 77;
+    const fpga::Placement p1 = fpga::place(nl, opts);
+    const fpga::Placement p2 = fpga::place(nl, opts);
+    EXPECT_EQ(p1.pos, p2.pos);
+    EXPECT_DOUBLE_EQ(p1.total_hpwl, p2.total_hpwl);
+}
+
+TEST(Placement, AnnealingImprovesWirelength) {
+    Impl impl("k3mm", 8);
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    fpga::PlacementOptions lazy;
+    lazy.moves_per_cell = 0;
+    fpga::PlacementOptions keen;
+    keen.moves_per_cell = 200;
+    const double before = fpga::place(nl, lazy).total_hpwl;
+    const double after = fpga::place(nl, keen).total_hpwl;
+    EXPECT_LT(after, before);
+}
+
+TEST(Placement, AllCellsInsideGrid) {
+    Impl impl("mvt");
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    const fpga::Placement p = fpga::place(nl);
+    ASSERT_EQ(p.pos.size(), static_cast<std::size_t>(nl.num_cells()));
+    for (const auto& [x, y] : p.pos) {
+        EXPECT_GE(x, 0);
+        EXPECT_LT(x, p.grid_w);
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, p.grid_h);
+    }
+}
+
+TEST(PowerModel, ActivityScalesDynamicPower) {
+    Impl impl("gemm");
+    const auto oracle = impl.oracle();
+    fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    const fpga::Placement p = fpga::place(nl);
+    const fpga::PowerBreakdown base = fpga::compute_power(nl, p, impl.report);
+    for (auto& net : nl.nets) net.toggles_per_cycle *= 2.0;
+    const fpga::PowerBreakdown hot = fpga::compute_power(nl, p, impl.report);
+    EXPECT_NEAR(hot.dynamic_w, 2.0 * base.dynamic_w, 1e-9);
+    EXPECT_DOUBLE_EQ(hot.static_w, base.static_w);
+    EXPECT_DOUBLE_EQ(hot.clock_w, base.clock_w);
+}
+
+TEST(PowerModel, PowerGatingReducesStatic) {
+    Impl impl("bicg");
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    const fpga::Placement p = fpga::place(nl);
+    fpga::PowerModelParams gated;
+    fpga::PowerModelParams ungated;
+    ungated.power_gating = false;
+    const double s_gated =
+        fpga::compute_power(nl, p, impl.report, gated).static_w;
+    const double s_ungated =
+        fpga::compute_power(nl, p, impl.report, ungated).static_w;
+    EXPECT_LT(s_gated, s_ungated); // small design: gating saves leakage
+    EXPECT_DOUBLE_EQ(s_ungated, ungated.full_device_static);
+}
+
+TEST(PowerModel, BreakdownAddsUp) {
+    Impl impl("syrk");
+    const auto oracle = impl.oracle();
+    const fpga::Netlist nl =
+        fpga::build_netlist(impl.fn, impl.elab, impl.binding, oracle);
+    const fpga::Placement p = fpga::place(nl);
+    const fpga::PowerBreakdown pw = fpga::compute_power(nl, p, impl.report);
+    EXPECT_GT(pw.dynamic_w, 0.0);
+    EXPECT_GT(pw.clock_w, 0.0);
+    EXPECT_GT(pw.static_w, 0.0);
+    EXPECT_NEAR(pw.total(), pw.dynamic_w + pw.clock_w + pw.static_w, 1e-12);
+    EXPECT_NEAR(pw.dynamic_total(), pw.dynamic_w + pw.clock_w, 1e-12);
+}
+
+TEST(Board, MeasurementDeterministicPerSample) {
+    Impl impl("gesummv");
+    const auto oracle = impl.oracle();
+    const fpga::BoardMeasurement m1 = fpga::measure_on_board(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report, 42);
+    const fpga::BoardMeasurement m2 = fpga::measure_on_board(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report, 42);
+    EXPECT_DOUBLE_EQ(m1.total_w, m2.total_w);
+    // A different sample id perturbs the measurement (noise + layout).
+    const fpga::BoardMeasurement m3 = fpga::measure_on_board(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report, 43);
+    EXPECT_NE(m1.total_w, m3.total_w);
+}
+
+TEST(Board, NoiseIsBounded) {
+    Impl impl("atax");
+    const auto oracle = impl.oracle();
+    fpga::BoardOptions quiet;
+    quiet.noise_amplitude = 0.0;
+    const fpga::BoardMeasurement clean = fpga::measure_on_board(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report, 7, quiet);
+    fpga::BoardOptions noisy;
+    noisy.noise_amplitude = 0.01;
+    const fpga::BoardMeasurement jittered = fpga::measure_on_board(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report, 7, noisy);
+    EXPECT_NEAR(jittered.dynamic_w, clean.dynamic_w, 0.011 * clean.dynamic_w);
+    EXPECT_NEAR(jittered.static_w, clean.static_w, 0.011 * clean.static_w);
+}
+
+TEST(VivadoLike, ProducesEstimateAndTakesTime) {
+    Impl impl("syr2k");
+    const auto oracle = impl.oracle();
+    const fpga::VivadoEstimate est = fpga::vivado_estimate(
+        impl.fn, impl.elab, impl.binding, oracle, impl.report);
+    EXPECT_GT(est.total_w, 0.0);
+    EXPECT_GT(est.dynamic_w, 0.0);
+    EXPECT_GT(est.total_w, est.dynamic_w); // includes static
+    EXPECT_GT(est.runtime_s, 0.0);
+}
+
+TEST(VivadoLike, IgnoresPowerGating) {
+    // Two designs with very different resource usage get nearly the same
+    // static estimate (full-device leakage) although their true static power
+    // differs — the paper's observed deficiency.
+    Impl small("gesummv", 6);
+    hls::Directives big_dirs;
+    const ir::Function big_fn = kernels::build_polybench("syr2k", 8);
+    for (int l : big_fn.innermost_loops()) big_dirs.loops[l] = {8, true};
+    Impl big("syr2k", 8, big_dirs);
+
+    const auto o_small = small.oracle();
+    const auto o_big = big.oracle();
+    const double est_static_small =
+        fpga::vivado_estimate(small.fn, small.elab, small.binding, o_small,
+                              small.report).total_w -
+        fpga::vivado_estimate(small.fn, small.elab, small.binding, o_small,
+                              small.report).dynamic_w;
+    const double est_static_big =
+        fpga::vivado_estimate(big.fn, big.elab, big.binding, o_big, big.report)
+            .total_w -
+        fpga::vivado_estimate(big.fn, big.elab, big.binding, o_big, big.report)
+            .dynamic_w;
+    EXPECT_NEAR(est_static_small, est_static_big,
+                0.15 * est_static_small);
+}
+
+TEST(VivadoLike, LinearCalibrationFitsExactLine) {
+    fpga::LinearCalibration cal;
+    cal.fit({1.0, 2.0, 3.0}, {3.0, 5.0, 7.0}); // y = 2x + 1
+    EXPECT_NEAR(cal.a, 2.0, 1e-9);
+    EXPECT_NEAR(cal.b, 1.0, 1e-9);
+    EXPECT_NEAR(cal.apply(10.0), 21.0, 1e-9);
+}
+
+TEST(VivadoLike, CalibrationDegenerateCases) {
+    fpga::LinearCalibration cal;
+    cal.fit({1.0}, {2.0}); // too few points
+    EXPECT_DOUBLE_EQ(cal.a, 1.0);
+    EXPECT_DOUBLE_EQ(cal.b, 0.0);
+    cal.fit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}); // constant x
+    EXPECT_DOUBLE_EQ(cal.a, 1.0);
+}

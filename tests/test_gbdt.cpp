@@ -1,0 +1,147 @@
+// Regression tree and gradient boosting tests (the HL-Pow baseline's model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbdt/gbdt.hpp"
+#include "gbdt/tree.hpp"
+
+using namespace powergear::gbdt;
+using powergear::util::Rng;
+
+namespace {
+
+/// y = step function of feature 0.
+void make_step_data(std::vector<std::vector<float>>& X, std::vector<float>& y,
+                    int n) {
+    Rng rng(3);
+    for (int i = 0; i < n; ++i) {
+        const float a = rng.next_float(0.0f, 1.0f);
+        const float b = rng.next_float(0.0f, 1.0f);
+        X.push_back({a, b});
+        y.push_back(a < 0.5f ? 1.0f : 3.0f);
+    }
+}
+
+std::vector<int> all_indices(std::size_t n) {
+    std::vector<int> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<int>(i);
+    return idx;
+}
+
+} // namespace
+
+TEST(RegressionTree, LearnsStepFunctionExactly) {
+    std::vector<std::vector<float>> X;
+    std::vector<float> y;
+    make_step_data(X, y, 200);
+    RegressionTree tree;
+    tree.fit(X, y, all_indices(X.size()), {4, 2});
+    for (std::size_t i = 0; i < X.size(); ++i)
+        EXPECT_NEAR(tree.predict(X[i]), y[i], 1e-5);
+}
+
+TEST(RegressionTree, ConstantTargetGivesSingleLeaf) {
+    std::vector<std::vector<float>> X = {{1.f}, {2.f}, {3.f}, {4.f}};
+    std::vector<float> y = {5.f, 5.f, 5.f, 5.f};
+    RegressionTree tree;
+    tree.fit(X, y, all_indices(4), {6, 1});
+    EXPECT_EQ(tree.num_nodes(), 1);
+    EXPECT_FLOAT_EQ(tree.predict({99.f}), 5.0f);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+    Rng rng(5);
+    std::vector<std::vector<float>> X;
+    std::vector<float> y;
+    for (int i = 0; i < 300; ++i) {
+        const float a = rng.next_float(0.0f, 1.0f);
+        X.push_back({a});
+        y.push_back(std::sin(10.0f * a));
+    }
+    TreeConfig cfg;
+    cfg.max_depth = 3;
+    RegressionTree tree;
+    tree.fit(X, y, all_indices(X.size()), cfg);
+    EXPECT_LE(tree.depth(), 4); // root at depth 1
+}
+
+TEST(RegressionTree, MinSamplesLeafHonoured) {
+    std::vector<std::vector<float>> X;
+    std::vector<float> y;
+    make_step_data(X, y, 40);
+    TreeConfig cfg;
+    cfg.min_samples_leaf = 15;
+    RegressionTree tree;
+    tree.fit(X, y, all_indices(X.size()), cfg);
+    // With min leaf 15 out of 40, at most 2 levels of splitting fit.
+    EXPECT_LE(tree.num_nodes(), 7);
+}
+
+TEST(RegressionTree, RejectsBadInput) {
+    RegressionTree tree;
+    std::vector<std::vector<float>> X = {{1.f}};
+    std::vector<float> y = {1.f, 2.f};
+    EXPECT_THROW(tree.fit(X, y, {0}, {}), std::invalid_argument);
+    EXPECT_THROW(tree.fit(X, {1.f}, {}, {}), std::invalid_argument);
+}
+
+TEST(Gbdt, BoostingReducesTrainingError) {
+    Rng rng(7);
+    std::vector<std::vector<float>> X;
+    std::vector<float> y;
+    for (int i = 0; i < 250; ++i) {
+        const float a = rng.next_float(-1.0f, 1.0f);
+        const float b = rng.next_float(-1.0f, 1.0f);
+        X.push_back({a, b});
+        y.push_back(2.0f * a - 1.5f * a * b + 3.0f);
+    }
+    auto train_rmse = [&](int trees) {
+        Gbdt model;
+        model.fit(X, y, {trees, 4, 2, 0.1});
+        double s = 0.0;
+        for (std::size_t i = 0; i < X.size(); ++i) {
+            const double d = model.predict(X[i]) - y[i];
+            s += d * d;
+        }
+        return std::sqrt(s / static_cast<double>(X.size()));
+    };
+    const double few = train_rmse(5);
+    const double many = train_rmse(120);
+    EXPECT_LT(many, 0.5 * few);
+}
+
+TEST(Gbdt, SingleSamplePredictsItsTarget) {
+    Gbdt model;
+    model.fit({{1.f, 2.f}}, {4.0f}, {10, 3, 1, 0.1});
+    EXPECT_NEAR(model.predict({1.f, 2.f}), 4.0f, 1e-4);
+}
+
+TEST(Gbdt, TuningReturnsReasonableModel) {
+    Rng rng(11);
+    std::vector<std::vector<float>> X;
+    std::vector<float> y;
+    for (int i = 0; i < 160; ++i) {
+        const float a = rng.next_float(0.0f, 2.0f);
+        X.push_back({a, rng.next_float(0.0f, 1.0f)});
+        y.push_back(5.0f + 2.0f * a);
+    }
+    GbdtGrid grid;
+    grid.num_trees = {30, 80};
+    grid.max_depth = {3, 5};
+    grid.min_samples_leaf = {2};
+    grid.learning_rate = {0.1};
+    Rng tune_rng(13);
+    const Gbdt model = fit_with_tuning(X, y, grid, 0.2, tune_rng);
+    double err = 0.0;
+    for (std::size_t i = 0; i < X.size(); ++i)
+        err += std::abs(model.predict(X[i]) - y[i]) / y[i];
+    EXPECT_LT(100.0 * err / static_cast<double>(X.size()), 5.0); // < 5% MAPE
+}
+
+TEST(Gbdt, TuningHandlesTinyDatasets) {
+    Rng rng(15);
+    const Gbdt model =
+        fit_with_tuning({{1.f}, {2.f}}, {1.0f, 2.0f}, GbdtGrid{}, 0.2, rng);
+    EXPECT_GT(model.num_trees(), 0);
+}

@@ -1,0 +1,261 @@
+// HLS layer tests: design space enumeration, elaboration replication,
+// scheduling (pipelining, unrolling, port pressure), binding and reports.
+#include <gtest/gtest.h>
+
+#include "hls/binding.hpp"
+#include "hls/elaborate.hpp"
+#include "hls/oplib.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+
+using namespace powergear;
+using hls::Directives;
+
+namespace {
+
+struct Flow {
+    hls::ElabGraph elab;
+    hls::Schedule sched;
+    hls::Binding binding;
+    hls::HlsReport report;
+};
+
+Flow run_flow(const ir::Function& fn, const Directives& dirs) {
+    Flow f;
+    f.elab = hls::elaborate(fn, dirs);
+    f.sched = hls::schedule(fn, f.elab);
+    f.binding = hls::bind(fn, f.elab, f.sched);
+    f.report = hls::make_report(fn, f.elab, f.sched, f.binding);
+    return f;
+}
+
+Directives innermost_directive(const ir::Function& fn, int unroll, bool pipe) {
+    Directives d;
+    for (int l : fn.innermost_loops()) d.loops[l] = {unroll, pipe};
+    return d;
+}
+
+} // namespace
+
+TEST(DesignSpace, PointRoundTripIsBijective) {
+    const ir::Function fn = kernels::build_polybench("gemm", 8);
+    const hls::DesignSpace space(fn);
+    ASSERT_GT(space.size(), 8u);
+    std::set<std::string> seen;
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(space.size(), 64); ++i)
+        seen.insert(space.point(i).to_string());
+    EXPECT_EQ(seen.size(), std::min<std::uint64_t>(space.size(), 64));
+    EXPECT_THROW(space.point(space.size()), std::out_of_range);
+}
+
+TEST(DesignSpace, UnrollFactorsDivideTripCounts) {
+    const ir::Function fn = kernels::build_polybench("atax", 12); // 12: no 8
+    const hls::DesignSpace space(fn);
+    for (std::uint64_t i = 0; i < std::min<std::uint64_t>(space.size(), 200); ++i) {
+        const Directives d = space.point(i);
+        for (const auto& [loop, ld] : d.loops)
+            EXPECT_EQ(fn.loop(loop).trip_count % ld.unroll, 0);
+    }
+}
+
+TEST(DesignSpace, SampleIsDistinctAndIncludesBaseline) {
+    const ir::Function fn = kernels::build_polybench("mvt", 8);
+    const hls::DesignSpace space(fn);
+    const auto pts = space.sample(20);
+    ASSERT_EQ(pts.size(), 20u);
+    std::set<std::string> seen;
+    for (const auto& d : pts) seen.insert(d.to_string());
+    EXPECT_EQ(seen.size(), 20u);
+    // Index 0 is the all-default point.
+    bool has_baseline = false;
+    for (const auto& d : pts) {
+        bool all_default = true;
+        for (const auto& [l, ld] : d.loops)
+            if (ld.unroll != 1 || ld.pipeline) all_default = false;
+        for (const auto& [a, banks] : d.array_partition)
+            if (banks != 1) all_default = false;
+        if (all_default) has_baseline = true;
+    }
+    EXPECT_TRUE(has_baseline);
+}
+
+TEST(Elaborate, ReplicationMatchesUnrollProduct) {
+    const ir::Function fn = kernels::build_polybench("gemm", 8);
+    const Directives d = innermost_directive(fn, 4, false);
+    const hls::ElabGraph elab = hls::elaborate(fn, d);
+    for (int i = 0; i < static_cast<int>(fn.instrs.size()); ++i) {
+        if (fn.instr(i).op == ir::Opcode::Ret) continue;
+        EXPECT_EQ(elab.replication[static_cast<std::size_t>(i)],
+                  hls::replication_factor(fn, d, i));
+    }
+    // More replicas than the baseline.
+    const hls::ElabGraph base = hls::elaborate(fn, Directives{});
+    EXPECT_GT(elab.num_ops(), base.num_ops());
+}
+
+TEST(Elaborate, EdgesConnectValidOps) {
+    const ir::Function fn = kernels::build_polybench("bicg", 8);
+    const hls::ElabGraph elab =
+        hls::elaborate(fn, innermost_directive(fn, 2, true));
+    for (const hls::ElabEdge& e : elab.edges) {
+        ASSERT_GE(e.src, 0);
+        ASSERT_LT(e.src, elab.num_ops());
+        ASSERT_GE(e.dst, 0);
+        ASSERT_LT(e.dst, elab.num_ops());
+        // Consumers reference the producer's IR instruction as an operand.
+        const ir::Instr& c = fn.instr(elab.ops[static_cast<std::size_t>(e.dst)].instr);
+        EXPECT_EQ(c.operands[static_cast<std::size_t>(e.operand_index)],
+                  elab.ops[static_cast<std::size_t>(e.src)].instr);
+    }
+}
+
+TEST(Schedule, PipeliningReducesLatency) {
+    const ir::Function fn = kernels::build_polybench("gemm", 8);
+    const Flow plain = run_flow(fn, Directives{});
+    const Flow piped = run_flow(fn, innermost_directive(fn, 1, true));
+    EXPECT_LT(piped.sched.total_latency, plain.sched.total_latency);
+}
+
+TEST(Schedule, UnrollingReducesLatency) {
+    // Unrolling needs matching array partitioning to pay off (otherwise the
+    // widened loop trades iterations for memory-port-bound II) — pair them,
+    // as an HLS engineer would.
+    const ir::Function fn = kernels::build_polybench("syrk", 8);
+    const Flow u1 = run_flow(fn, innermost_directive(fn, 1, true));
+    Directives d4 = innermost_directive(fn, 4, true);
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a)
+        if (!fn.arrays[static_cast<std::size_t>(a)].is_register())
+            d4.array_partition[a] = 4;
+    const Flow u4 = run_flow(fn, d4);
+    EXPECT_LT(u4.sched.total_latency, u1.sched.total_latency);
+}
+
+TEST(Schedule, PartitioningRelievesPortPressure) {
+    // Unrolled pipelined loop: with one bank the memory ports bound II; with
+    // four banks accesses spread out and II drops.
+    const ir::Function fn = kernels::build_polybench("gemm", 8);
+    Directives narrow = innermost_directive(fn, 4, true);
+    Directives wide = narrow;
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a)
+        if (!fn.arrays[static_cast<std::size_t>(a)].is_register()) {
+            narrow.array_partition[a] = 1;
+            wide.array_partition[a] = 4;
+        }
+    const Flow f_narrow = run_flow(fn, narrow);
+    const Flow f_wide = run_flow(fn, wide);
+    int ii_narrow = 1, ii_wide = 1;
+    for (int l : fn.innermost_loops()) {
+        ii_narrow = std::max(ii_narrow, f_narrow.sched.loops[static_cast<std::size_t>(l)].ii);
+        ii_wide = std::max(ii_wide, f_wide.sched.loops[static_cast<std::size_t>(l)].ii);
+    }
+    EXPECT_GT(ii_narrow, ii_wide);
+    EXPECT_LT(f_wide.sched.total_latency, f_narrow.sched.total_latency);
+}
+
+TEST(Schedule, LatencyPositiveForAllKernels) {
+    for (const std::string& name : kernels::polybench_names()) {
+        const ir::Function fn = kernels::build_polybench(name, 6);
+        const Flow f = run_flow(fn, Directives{});
+        EXPECT_GT(f.sched.total_latency, 0) << name;
+        EXPECT_GT(f.sched.fsm_states, 1) << name;
+    }
+}
+
+TEST(Binding, SharedUnitsOnlyForExpensiveOps) {
+    const ir::Function fn = kernels::build_polybench("k3mm", 6);
+    const Flow f = run_flow(fn, Directives{});
+    for (const hls::Unit& u : f.binding.units) {
+        if (u.shared) EXPECT_TRUE(hls::shareable(u.op));
+        EXPECT_GT(u.num_ops, 0);
+    }
+    // Sequential matmul loops share multipliers: fewer mul units than muls.
+    int mul_units = 0, mul_ops = 0;
+    for (const hls::Unit& u : f.binding.units)
+        if (u.op == ir::Opcode::Mul) {
+            ++mul_units;
+            mul_ops += u.num_ops;
+        }
+    EXPECT_LT(mul_units, mul_ops);
+}
+
+TEST(Binding, EveryHardwareOpBound) {
+    const ir::Function fn = kernels::build_polybench("gesummv", 6);
+    const Flow f = run_flow(fn, innermost_directive(fn, 2, true));
+    for (int o = 0; o < f.elab.num_ops(); ++o) {
+        const hls::OpCharacter ch = hls::characterize(
+            f.elab.ops[static_cast<std::size_t>(o)].op,
+            f.elab.ops[static_cast<std::size_t>(o)].bitwidth);
+        const int unit = f.binding.unit_of_op[static_cast<std::size_t>(o)];
+        if (ch.is_hardware)
+            EXPECT_GE(unit, 0);
+        else
+            EXPECT_EQ(unit, -1);
+    }
+}
+
+TEST(Report, UnrollingIncreasesResources) {
+    const ir::Function fn = kernels::build_polybench("syr2k", 8);
+    const Flow u1 = run_flow(fn, innermost_directive(fn, 1, true));
+    const Flow u4 = run_flow(fn, innermost_directive(fn, 4, true));
+    EXPECT_GE(u4.report.dsp, u1.report.dsp);
+    EXPECT_GT(u4.report.lut, u1.report.lut);
+}
+
+TEST(Report, PartitioningIncreasesBram) {
+    const ir::Function fn = kernels::build_polybench("gemm", 16);
+    Directives one, four;
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a)
+        if (!fn.arrays[static_cast<std::size_t>(a)].is_register()) {
+            one.array_partition[a] = 1;
+            four.array_partition[a] = 4;
+        }
+    const Flow f1 = run_flow(fn, one);
+    const Flow f4 = run_flow(fn, four);
+    EXPECT_GT(f4.report.bram, f1.report.bram);
+}
+
+TEST(Report, MetadataFeaturesShapeAndBaselineRatios) {
+    const ir::Function fn = kernels::build_polybench("atax", 8);
+    const Flow base = run_flow(fn, Directives{});
+    const auto meta = hls::metadata_features(base.report, base.report);
+    ASSERT_EQ(static_cast<int>(meta.size()), hls::kMetadataDim);
+    for (int i = 5; i < 10; ++i) EXPECT_DOUBLE_EQ(meta[static_cast<std::size_t>(i)], 1.0);
+}
+
+TEST(OpLib, CharacterizationSanity) {
+    for (int op = 0; op < ir::opcode_count(); ++op) {
+        const hls::OpCharacter c =
+            hls::characterize(static_cast<ir::Opcode>(op), 32);
+        EXPECT_GE(c.latency, 0);
+        EXPECT_GE(c.delay_ns, 0.0);
+        EXPECT_GE(c.res.lut, 0);
+    }
+    EXPECT_GT(hls::characterize(ir::Opcode::Mul, 32).res.dsp, 0);
+    EXPECT_EQ(hls::characterize(ir::Opcode::Trunc, 32).is_hardware, false);
+    EXPECT_GT(hls::characterize(ir::Opcode::Div, 32).latency,
+              hls::characterize(ir::Opcode::Add, 32).latency);
+}
+
+TEST(OpLib, SharingClassSeparatesWidthBuckets) {
+    EXPECT_NE(hls::sharing_class(ir::Opcode::Mul, 16),
+              hls::sharing_class(ir::Opcode::Mul, 32));
+    EXPECT_NE(hls::sharing_class(ir::Opcode::Mul, 32),
+              hls::sharing_class(ir::Opcode::Div, 32));
+    EXPECT_EQ(hls::sharing_class(ir::Opcode::Mul, 20),
+              hls::sharing_class(ir::Opcode::Mul, 32));
+}
+
+TEST(Directives, AccessorsAndDefaults) {
+    Directives d;
+    EXPECT_EQ(d.unroll_of(0), 1);
+    EXPECT_FALSE(d.pipelined(0));
+    EXPECT_EQ(d.banks_of(0), 1);
+    EXPECT_EQ(d.to_string(), "baseline");
+    d.loops[2] = {4, true};
+    d.array_partition[1] = 2;
+    EXPECT_EQ(d.unroll_of(2), 4);
+    EXPECT_TRUE(d.pipelined(2));
+    EXPECT_EQ(d.banks_of(1), 2);
+    EXPECT_EQ(d.to_string(), "L2:u4p|A1:2");
+}

@@ -1,0 +1,175 @@
+// Property-style parameterized sweeps: invariants that must hold for every
+// kernel and across whole slices of each kernel's directive space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/activity.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+
+using namespace powergear;
+
+namespace {
+
+struct KernelFixture {
+    ir::Function fn;
+    sim::Trace trace;
+
+    explicit KernelFixture(const std::string& name, int size = 8)
+        : fn(kernels::build_polybench(name, size)) {
+        sim::Interpreter interp(fn);
+        sim::apply_stimulus(interp, fn, {});
+        trace = interp.run();
+    }
+};
+
+} // namespace
+
+class EveryKernel : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Polybench, EveryKernel,
+                         ::testing::ValuesIn(kernels::polybench_names()));
+
+TEST_P(EveryKernel, DesignSpaceSliceProducesValidGraphsAndReports) {
+    KernelFixture fx(GetParam());
+    const hls::DesignSpace space(fx.fn);
+    const auto points = space.sample(8);
+    std::int64_t prev_latency = -1;
+    for (const hls::Directives& dirs : points) {
+        const hls::ElabGraph elab = hls::elaborate(fx.fn, dirs);
+        const hls::Schedule sched = hls::schedule(fx.fn, elab);
+        const hls::Binding binding = hls::bind(fx.fn, elab, sched);
+        const hls::HlsReport report =
+            hls::make_report(fx.fn, elab, sched, binding);
+        EXPECT_GT(report.lut, 0);
+        EXPECT_GT(report.bram, 0);
+        EXPECT_GE(report.clock_ns, 3.0);
+        EXPECT_GT(sched.total_latency, 0);
+
+        const sim::ActivityOracle oracle(fx.fn, elab, fx.trace,
+                                         sched.total_latency);
+        const graphgen::Graph g =
+            graphgen::construct_graph(fx.fn, elab, binding, oracle);
+        std::string why;
+        EXPECT_TRUE(g.valid(&why)) << GetParam() << " " << dirs.to_string()
+                                   << ": " << why;
+        EXPECT_GT(g.num_nodes, 3);
+        EXPECT_GT(g.edges.size(), 3u);
+        (void)prev_latency;
+    }
+}
+
+TEST_P(EveryKernel, MostAggressivePointIsFasterThanBaseline) {
+    KernelFixture fx(GetParam());
+    const hls::DesignSpace space(fx.fn);
+
+    const hls::ElabGraph base = hls::elaborate(fx.fn, hls::Directives{});
+    const std::int64_t base_lat = hls::schedule(fx.fn, base).total_latency;
+
+    // Fully unrolled + pipelined + max partition.
+    hls::Directives fast;
+    for (int l : fx.fn.innermost_loops()) fast.loops[l] = {8, true};
+    for (int a = 0; a < static_cast<int>(fx.fn.arrays.size()); ++a)
+        if (!fx.fn.arrays[static_cast<std::size_t>(a)].is_register())
+            fast.array_partition[a] = 4;
+    // Clamp unroll to a legal divisor.
+    for (auto& [l, ld] : fast.loops)
+        while (fx.fn.loop(l).trip_count % ld.unroll) ld.unroll /= 2;
+
+    const hls::ElabGraph agg = hls::elaborate(fx.fn, fast);
+    const std::int64_t fast_lat = hls::schedule(fx.fn, agg).total_latency;
+    EXPECT_LT(fast_lat, base_lat) << GetParam();
+}
+
+TEST_P(EveryKernel, ReplicaSequencesPartitionTheTrace) {
+    // The replica subsequences of any instruction are a partition of its
+    // full execution trace: disjoint and jointly exhaustive.
+    KernelFixture fx(GetParam(), 6);
+    hls::Directives dirs;
+    for (int l : fx.fn.innermost_loops()) {
+        const int trip = fx.fn.loop(l).trip_count;
+        dirs.loops[l] = {trip % 2 == 0 ? 2 : 1, false};
+    }
+    const hls::ElabGraph elab = hls::elaborate(fx.fn, dirs);
+    const sim::ActivityOracle oracle(fx.fn, elab, fx.trace, 1000);
+
+    for (int instr = 0; instr < static_cast<int>(fx.fn.instrs.size()); ++instr) {
+        const int reps = elab.replication[static_cast<std::size_t>(instr)];
+        if (reps <= 1 || fx.trace.of(instr).empty()) continue;
+        std::size_t total = 0;
+        for (int r = 0; r < reps; ++r) {
+            const int op = elab.op_id(instr, r);
+            total += oracle.produced_sequence(op).size();
+        }
+        EXPECT_EQ(total, fx.trace.of(instr).size()) << "instr " << instr;
+    }
+}
+
+TEST_P(EveryKernel, EdgeFeaturesAreFiniteAndNonNegative) {
+    KernelFixture fx(GetParam());
+    hls::Directives dirs;
+    for (int l : fx.fn.innermost_loops()) dirs.loops[l] = {2, true};
+    const hls::ElabGraph elab = hls::elaborate(fx.fn, dirs);
+    const hls::Schedule sched = hls::schedule(fx.fn, elab);
+    const hls::Binding binding = hls::bind(fx.fn, elab, sched);
+    const sim::ActivityOracle oracle(fx.fn, elab, fx.trace, sched.total_latency);
+    const graphgen::Graph g =
+        graphgen::construct_graph(fx.fn, elab, binding, oracle);
+    double total_sa = 0.0;
+    for (const auto& e : g.edges)
+        for (float f : e.feat) {
+            ASSERT_TRUE(std::isfinite(f));
+            EXPECT_GE(f, 0.0f);
+            total_sa += f;
+        }
+    // A real workload must show some switching somewhere.
+    EXPECT_GT(total_sa, 0.0);
+}
+
+TEST_P(EveryKernel, GraphHasBufferNodesForEveryAccessedArray) {
+    KernelFixture fx(GetParam());
+    const hls::ElabGraph elab = hls::elaborate(fx.fn, hls::Directives{});
+    const hls::Schedule sched = hls::schedule(fx.fn, elab);
+    const hls::Binding binding = hls::bind(fx.fn, elab, sched);
+    const sim::ActivityOracle oracle(fx.fn, elab, fx.trace, sched.total_latency);
+    const graphgen::Graph g =
+        graphgen::construct_graph(fx.fn, elab, binding, oracle);
+
+    std::set<std::string> buffer_arrays;
+    for (const std::string& label : g.labels)
+        if (label.rfind("buffer:", 0) == 0)
+            buffer_arrays.insert(label.substr(7, label.find('[') - 7));
+
+    std::set<std::string> accessed;
+    for (const ir::Instr& in : fx.fn.instrs)
+        if (in.op == ir::Opcode::Load || in.op == ir::Opcode::Store)
+            accessed.insert(fx.fn.arrays[static_cast<std::size_t>(in.array)].name);
+    EXPECT_EQ(buffer_arrays, accessed) << GetParam();
+}
+
+class StimulusSeeds : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StimulusSeeds, ::testing::Range(1, 9));
+
+TEST_P(StimulusSeeds, ActivityOracleDeterministicAcrossConstructions) {
+    const ir::Function fn = kernels::build_polybench("bicg", 6);
+    sim::Interpreter interp(fn);
+    sim::StimulusProfile prof;
+    prof.seed = static_cast<std::uint64_t>(GetParam());
+    sim::apply_stimulus(interp, fn, prof);
+    const sim::Trace trace = interp.run();
+    const hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    const sim::ActivityOracle o1(fn, elab, trace, 500);
+    const sim::ActivityOracle o2(fn, elab, trace, 500);
+    for (int op = 0; op < elab.num_ops(); op += 3) {
+        EXPECT_DOUBLE_EQ(o1.produced(op).sa, o2.produced(op).sa);
+        EXPECT_DOUBLE_EQ(o1.produced(op).ar, o2.produced(op).ar);
+    }
+}

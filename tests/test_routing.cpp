@@ -1,0 +1,152 @@
+// Global-router tests: Steiner-tree sharing, congestion accounting and the
+// interaction with the power model.
+#include <gtest/gtest.h>
+
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "fpga/power_model.hpp"
+#include "fpga/routing.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+
+using namespace powergear;
+using namespace powergear::fpga;
+
+namespace {
+
+/// Hand-built netlist on an explicit grid.
+Netlist tiny_netlist(int cells) {
+    Netlist nl;
+    for (int i = 0; i < cells; ++i) {
+        Cell c;
+        c.kind = CellKind::Logic;
+        c.area = 1;
+        nl.cells.push_back(c);
+    }
+    return nl;
+}
+
+Placement grid_placement(int w, int h, std::vector<std::pair<int, int>> pos) {
+    Placement p;
+    p.grid_w = w;
+    p.grid_h = h;
+    p.pos = std::move(pos);
+    return p;
+}
+
+Netlist real_netlist(Placement* out_placement) {
+    static const ir::Function fn = kernels::build_polybench("k2mm", 8);
+    sim::Interpreter interp(fn);
+    sim::apply_stimulus(interp, fn, {});
+    const sim::Trace trace = interp.run();
+    const hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    const hls::Schedule sched = hls::schedule(fn, elab);
+    const hls::Binding binding = hls::bind(fn, elab, sched);
+    const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+    // note: elab is local, build_netlist copies what it needs into the netlist
+    Netlist nl = build_netlist(fn, elab, binding, oracle);
+    *out_placement = place(nl);
+    return nl;
+}
+
+} // namespace
+
+TEST(Routing, SingleSinkRouteIsManhattan) {
+    Netlist nl = tiny_netlist(2);
+    Net net;
+    net.driver = 0;
+    net.sinks = {1};
+    nl.nets.push_back(net);
+    const Placement p = grid_placement(10, 10, {{1, 1}, {4, 7}});
+    const RoutingResult r = route(nl, p);
+    EXPECT_DOUBLE_EQ(r.net_wirelength[0], 3.0 + 6.0);
+    EXPECT_EQ(r.overflowed_edges, 0);
+    EXPECT_DOUBLE_EQ(r.timing_derate(), 1.0);
+}
+
+TEST(Routing, SteinerSharingBeatsPerSinkRouting) {
+    // Driver at origin, two sinks stacked on the same column: the second
+    // sink reuses the trunk, so total wire < sum of driver-to-sink paths.
+    Netlist nl = tiny_netlist(3);
+    Net net;
+    net.driver = 0;
+    net.sinks = {1, 2};
+    nl.nets.push_back(net);
+    const Placement p = grid_placement(12, 12, {{0, 0}, {8, 4}, {8, 6}});
+    const RoutingResult r = route(nl, p);
+    const double per_sink = (8 + 4) + (8 + 6);
+    EXPECT_LT(r.net_wirelength[0], per_sink);
+    EXPECT_GE(r.net_wirelength[0], 8 + 6); // at least the far sink's distance
+}
+
+TEST(Routing, CongestionTriggersOverflowAccounting) {
+    // Many parallel nets across the same single-row channel.
+    const int pairs = 12;
+    Netlist nl = tiny_netlist(2 * pairs);
+    std::vector<std::pair<int, int>> pos;
+    for (int i = 0; i < pairs; ++i) {
+        Net net;
+        net.driver = 2 * i;
+        net.sinks = {2 * i + 1};
+        nl.nets.push_back(net);
+        pos.push_back({0, 0});
+        pos.push_back({5, 0});
+    }
+    const Placement p = grid_placement(6, 2, std::move(pos));
+    RoutingOptions opts;
+    opts.channel_capacity = 4;
+    const RoutingResult r = route(nl, p, opts);
+    EXPECT_GT(r.overflowed_edges, 0);
+    EXPECT_GT(r.max_congestion, 1.0);
+    EXPECT_GT(r.timing_derate(), 1.0);
+    // Overflow adds detour cost beyond pure manhattan.
+    EXPECT_GT(r.total_wirelength, 5.0 * pairs);
+}
+
+TEST(Routing, DeterministicOnRealDesign) {
+    Placement p;
+    const Netlist nl = real_netlist(&p);
+    const RoutingResult r1 = route(nl, p);
+    const RoutingResult r2 = route(nl, p);
+    EXPECT_EQ(r1.net_wirelength, r2.net_wirelength);
+    EXPECT_DOUBLE_EQ(r1.total_wirelength, r2.total_wirelength);
+}
+
+TEST(Routing, RoutedLengthAtLeastHpwl) {
+    Placement p;
+    const Netlist nl = real_netlist(&p);
+    const RoutingResult r = route(nl, p);
+    for (std::size_t n = 0; n < nl.nets.size(); ++n)
+        EXPECT_GE(r.net_wirelength[n] + 1e-9, net_hpwl(nl, p, nl.nets[n]))
+            << "net " << n;
+}
+
+TEST(Routing, PowerModelUsesRoutedWirelength) {
+    Placement p;
+    const Netlist nl = real_netlist(&p);
+    const RoutingResult routed = route(nl, p);
+    hls::HlsReport report;
+    report.lut = 500;
+    const PowerBreakdown without =
+        compute_power(nl, p, report, PowerModelParams{}, nullptr);
+    const PowerBreakdown with =
+        compute_power(nl, p, report, PowerModelParams{}, &routed);
+    // Routed wire >= HPWL => at least as much interconnect power.
+    EXPECT_GE(with.dynamic_w + 1e-12, without.dynamic_w);
+    EXPECT_DOUBLE_EQ(with.static_w, without.static_w);
+}
+
+TEST(Routing, DegenerateGridIsZeroWire) {
+    Netlist nl = tiny_netlist(2);
+    Net net;
+    net.driver = 0;
+    net.sinks = {1};
+    nl.nets.push_back(net);
+    const Placement p = grid_placement(1, 1, {{0, 0}, {0, 0}});
+    const RoutingResult r = route(nl, p);
+    EXPECT_DOUBLE_EQ(r.total_wirelength, 0.0);
+}

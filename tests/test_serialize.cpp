@@ -1,0 +1,130 @@
+// Model persistence tests: bit-exact round trips for PowerModel and
+// Ensemble, format validation, and the core API's save/load.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gnn/serialize.hpp"
+#include "ir/ir.hpp"
+
+using namespace powergear;
+using gnn::ConvKind;
+using gnn::GraphTensors;
+using gnn::ModelConfig;
+using gnn::PowerModel;
+
+namespace {
+
+ModelConfig small_config(ConvKind kind = ConvKind::HecGnn) {
+    ModelConfig cfg;
+    cfg.kind = kind;
+    cfg.node_dim = graphgen::node_feature_dim(ir::opcode_count() + 1);
+    cfg.hidden = 6;
+    cfg.layers = 2;
+    cfg.dropout = 0.0f;
+    cfg.seed = 99;
+    return cfg;
+}
+
+GraphTensors probe_graph() {
+    graphgen::Graph g;
+    g.num_nodes = 3;
+    g.node_dim = graphgen::node_feature_dim(ir::opcode_count() + 1);
+    g.x.assign(static_cast<std::size_t>(g.num_nodes * g.node_dim), 0.25f);
+    graphgen::Graph::Edge e;
+    e.src = 0;
+    e.dst = 1;
+    e.relation = 2;
+    e.feat = {0.5f, 0.25f, 0.125f, 1.5f};
+    g.edges.push_back(e);
+    e.src = 1;
+    e.dst = 2;
+    e.relation = 1;
+    g.edges.push_back(e);
+    g.labels = {"a", "b", "c"};
+    return GraphTensors::from(g, std::vector<double>(10, 0.7));
+}
+
+} // namespace
+
+class EveryKindRoundTrip : public ::testing::TestWithParam<ConvKind> {};
+
+TEST_P(EveryKindRoundTrip, ModelPredictionsSurviveSaveLoad) {
+    PowerModel model(small_config(GetParam()));
+    const GraphTensors g = probe_graph();
+    const float before = model.predict(g);
+
+    std::stringstream ss;
+    gnn::save_model(ss, model);
+    auto loaded = gnn::load_model(ss);
+    EXPECT_FLOAT_EQ(loaded->predict(g), before);
+    EXPECT_EQ(loaded->config().hidden, 6);
+    EXPECT_EQ(static_cast<int>(loaded->config().kind),
+              static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EveryKindRoundTrip,
+                         ::testing::Values(ConvKind::HecGnn, ConvKind::Gcn,
+                                           ConvKind::Sage, ConvKind::GraphConv,
+                                           ConvKind::Gine));
+
+TEST(Serialize, EnsembleRoundTripAveragesIdentically) {
+    std::vector<GraphTensors> storage;
+    std::vector<float> targets;
+    for (int i = 0; i < 6; ++i) {
+        storage.push_back(probe_graph());
+        targets.push_back(0.4f + 0.1f * i);
+    }
+    std::vector<const GraphTensors*> graphs;
+    for (auto& g : storage) graphs.push_back(&g);
+
+    gnn::EnsembleConfig cfg;
+    cfg.model = small_config();
+    cfg.folds = 2;
+    cfg.seeds = 1;
+    cfg.epochs = 5;
+    gnn::Ensemble ens;
+    ens.fit(graphs, targets, cfg);
+
+    const GraphTensors g = probe_graph();
+    const float before = ens.predict(g);
+    std::stringstream ss;
+    gnn::save_ensemble(ss, ens);
+    gnn::Ensemble loaded = gnn::load_ensemble(ss);
+    EXPECT_EQ(loaded.num_members(), ens.num_members());
+    EXPECT_FLOAT_EQ(loaded.predict(g), before);
+}
+
+TEST(Serialize, RejectsCorruptHeader) {
+    std::stringstream ss("not-a-model 1\n");
+    EXPECT_THROW(gnn::load_model(ss), std::runtime_error);
+    std::stringstream ss2("powergear-ensemble 999 1\n");
+    EXPECT_THROW(gnn::load_ensemble(ss2), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedBody) {
+    PowerModel model(small_config());
+    std::stringstream ss;
+    gnn::save_model(ss, model);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream half(text);
+    EXPECT_THROW(gnn::load_model(half), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    gnn::Ensemble ens;
+    std::vector<std::unique_ptr<PowerModel>> members;
+    members.push_back(std::make_unique<PowerModel>(small_config()));
+    ens.adopt(std::move(members));
+
+    const std::string path = "test_serialize_roundtrip.pgm";
+    gnn::save_ensemble_file(path, ens);
+    const gnn::Ensemble loaded = gnn::load_ensemble_file(path);
+    EXPECT_EQ(loaded.num_members(), 1);
+    const GraphTensors g = probe_graph();
+    EXPECT_FLOAT_EQ(loaded.predict(g), ens.predict(g));
+    std::remove(path.c_str());
+    EXPECT_THROW(gnn::load_ensemble_file(path), std::runtime_error);
+}

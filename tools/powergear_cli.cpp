@@ -1,0 +1,237 @@
+// powergear — command-line front end for the library.
+//
+//   powergear gen      --kernel gemm --samples 24 [--size 16] [--csv out.csv]
+//   powergear train    --kernels atax,bicg,gemm --samples 24 --kind dynamic
+//                      --out model.pgm [--epochs N] [--folds K] [--seeds S]
+//   powergear estimate --model model.pgm --kernel mvt --samples 24
+//                      [--kind dynamic]
+//   powergear dse      --kernel atax --samples 48 --budget 0.4
+//                      [--train bicg,gemm,syrk]
+//
+// Dataset generation is deterministic for a given (kernel, samples, size,
+// seed), so models trained in one invocation estimate datasets generated in
+// another.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/powergear.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
+#include "dse/explorer.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+using namespace powergear;
+
+namespace {
+
+struct Args {
+    std::string command;
+    std::map<std::string, std::string> options;
+
+    bool has(const std::string& key) const { return options.count(key) > 0; }
+    std::string get(const std::string& key, const std::string& fallback = "") const {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+    int get_int(const std::string& key, int fallback) const {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : std::stoi(it->second);
+    }
+    double get_double(const std::string& key, double fallback) const {
+        auto it = options.find(key);
+        return it == options.end() ? fallback : std::stod(it->second);
+    }
+};
+
+Args parse(int argc, char** argv) {
+    Args a;
+    if (argc >= 2) a.command = argv[1];
+    for (int i = 2; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) == 0) key = key.substr(2);
+        a.options[key] = argv[i + 1];
+    }
+    return a;
+}
+
+std::vector<std::string> split_list(const std::string& csv) {
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty()) out.push_back(item);
+    return out;
+}
+
+dataset::GeneratorOptions generator_options(const Args& a) {
+    dataset::GeneratorOptions o;
+    o.samples_per_dataset = a.get_int("samples", 24);
+    o.problem_size = a.get_int("size", 16);
+    o.seed = static_cast<std::uint64_t>(a.get_int("seed", 42));
+    return o;
+}
+
+dataset::PowerKind kind_of(const Args& a) {
+    return a.get("kind", "total") == "dynamic" ? dataset::PowerKind::Dynamic
+                                               : dataset::PowerKind::Total;
+}
+
+int cmd_gen(const Args& a) {
+    const std::string kernel = a.get("kernel", "gemm");
+    const dataset::Dataset ds =
+        dataset::generate_dataset(kernel, generator_options(a));
+
+    util::Table table({"design", "directives", "latency", "nodes", "dyn_W",
+                       "static_W", "total_W"});
+    for (const auto& s : ds.samples)
+        table.add_row({std::to_string(s.design_index),
+                       s.directives.to_string(),
+                       std::to_string(s.latency_cycles),
+                       std::to_string(s.graph.num_nodes),
+                       util::Table::num(s.dynamic_power_w, 4),
+                       util::Table::num(s.static_power_w, 4),
+                       util::Table::num(s.total_power_w, 4)});
+    std::printf("%s", table.to_ascii().c_str());
+    std::printf("dataset %s: %d samples, avg %.0f graph nodes\n",
+                ds.name.c_str(), ds.size(), ds.avg_nodes());
+    if (a.has("csv")) {
+        if (table.save_csv(a.get("csv")))
+            std::printf("saved %s\n", a.get("csv").c_str());
+        else {
+            std::fprintf(stderr, "error: cannot write %s\n", a.get("csv").c_str());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int cmd_train(const Args& a) {
+    const auto kernels = split_list(a.get("kernels", "atax,bicg,gemm"));
+    if (kernels.empty() || !a.has("out")) {
+        std::fprintf(stderr, "error: train needs --kernels and --out\n");
+        return 1;
+    }
+    std::vector<dataset::Dataset> suite;
+    for (const std::string& k : kernels) {
+        std::printf("generating %s...\n", k.c_str());
+        suite.push_back(dataset::generate_dataset(k, generator_options(a)));
+    }
+    std::vector<const dataset::Sample*> pool;
+    for (const auto& ds : suite)
+        for (const auto& s : ds.samples) pool.push_back(&s);
+
+    core::PowerGear::Options opts = core::PowerGear::Options::from_bench_scale(
+        util::bench_scale(), kind_of(a));
+    opts.epochs = a.get_int("epochs", opts.epochs);
+    opts.folds = a.get_int("folds", opts.folds);
+    opts.seeds = a.get_int("seeds", opts.seeds);
+    opts.hidden = a.get_int("hidden", opts.hidden);
+
+    std::printf("training on %zu samples (%s power, %d folds x %d seeds)...\n",
+                pool.size(),
+                opts.kind == dataset::PowerKind::Dynamic ? "dynamic" : "total",
+                opts.folds, opts.seeds);
+    core::PowerGear pg(opts);
+    pg.fit(pool);
+    pg.save(a.get("out"));
+    std::printf("saved %d-member ensemble to %s\n", pg.num_members(),
+                a.get("out").c_str());
+    return 0;
+}
+
+int cmd_estimate(const Args& a) {
+    if (!a.has("model") || !a.has("kernel")) {
+        std::fprintf(stderr, "error: estimate needs --model and --kernel\n");
+        return 1;
+    }
+    core::PowerGear::Options opts;
+    opts.kind = kind_of(a);
+    core::PowerGear pg(opts);
+    pg.load(a.get("model"));
+
+    const dataset::Dataset ds =
+        dataset::generate_dataset(a.get("kernel"), generator_options(a));
+    util::Table table({"design", "directives", "estimated_W", "measured_W",
+                       "error_%"});
+    for (const auto& s : ds.samples) {
+        const double est = pg.estimate(s);
+        const double truth = static_cast<double>(s.label(opts.kind));
+        table.add_row({std::to_string(s.design_index),
+                       s.directives.to_string(), util::Table::num(est, 4),
+                       util::Table::num(truth, 4),
+                       util::Table::num(100.0 * std::abs(est - truth) / truth, 2)});
+    }
+    std::printf("%s", table.to_ascii().c_str());
+    std::printf("MAPE: %.2f%%\n", pg.evaluate_mape(dataset::pool_of(ds)));
+    return 0;
+}
+
+int cmd_dse(const Args& a) {
+    const std::string target = a.get("kernel", "atax");
+    const auto train_kernels = split_list(a.get("train", "bicg,gemm,syrk"));
+    std::vector<dataset::Dataset> suite;
+    for (const std::string& k : train_kernels)
+        suite.push_back(dataset::generate_dataset(k, generator_options(a)));
+    suite.push_back(dataset::generate_dataset(target, generator_options(a)));
+    const std::size_t tgt = suite.size() - 1;
+
+    core::PowerGear::Options opts = core::PowerGear::Options::from_bench_scale(
+        util::bench_scale(), dataset::PowerKind::Dynamic);
+    core::PowerGear pg(opts);
+    pg.fit(dataset::pool_except(suite, tgt));
+
+    std::vector<dse::Point> truth, predicted;
+    for (int i = 0; i < suite[tgt].size(); ++i) {
+        const auto& s = suite[tgt].samples[static_cast<std::size_t>(i)];
+        truth.push_back({static_cast<double>(s.latency_cycles),
+                         s.dynamic_power_w, i});
+        predicted.push_back({static_cast<double>(s.latency_cycles),
+                             pg.estimate(s), i});
+    }
+    dse::ExplorerConfig cfg;
+    cfg.total_budget = a.get_double("budget", 0.4);
+    const dse::DseResult res = dse::explore(predicted, truth, cfg);
+    std::printf("explored %zu/%d designs (budget %.0f%%), ADRS %.4f\n",
+                res.sampled.size(), suite[tgt].size(), 100 * cfg.total_budget,
+                res.adrs_value);
+    std::printf("%-14s %12s %14s\n", "frontier", "latency", "dyn power (W)");
+    for (const auto& p : res.approx_front)
+        std::printf("%-14s %12.0f %14.4f\n",
+                    ("design#" + std::to_string(p.index)).c_str(), p.latency,
+                    p.power);
+    return 0;
+}
+
+void usage() {
+    std::printf(
+        "powergear — early-stage HLS power estimation (PowerGear reproduction)\n"
+        "\n"
+        "commands:\n"
+        "  gen      --kernel K [--samples N --size S --csv F]  dump a dataset\n"
+        "  train    --kernels A,B,C --out M.pgm [--kind dynamic --epochs N\n"
+        "           --folds K --seeds S --hidden H]            train + save\n"
+        "  estimate --model M.pgm --kernel K [--kind dynamic]  estimate designs\n"
+        "  dse      --kernel K [--train A,B,C --budget 0.4]    explore a space\n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Args args = parse(argc, argv);
+    try {
+        if (args.command == "gen") return cmd_gen(args);
+        if (args.command == "train") return cmd_train(args);
+        if (args.command == "estimate") return cmd_estimate(args);
+        if (args.command == "dse") return cmd_dse(args);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return args.command.empty() ? 0 : 1;
+}
