@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Sanitizer-hardened verification gate.
+#
+# Builds the tree three ways — plain Release, AddressSanitizer and
+# UndefinedBehaviorSanitizer (both at RelWithDebInfo so the 311-test suite
+# stays fast) — with warnings-as-errors everywhere, runs the full ctest
+# suite under each, and finishes with a `powergear lint` sweep over every
+# built-in Polybench kernel (must report zero diagnostics).
+#
+#   scripts/check.sh            # all three builds + lint
+#   JOBS=4 scripts/check.sh     # cap build/test parallelism
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+
+run_build() {
+    local name=$1
+    shift
+    local dir=build-check-$name
+    echo "=== [$name] configure ==="
+    cmake -B "$dir" -S . -DPOWERGEAR_WERROR=ON "$@" >/dev/null
+    echo "=== [$name] build ==="
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== [$name] ctest ==="
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_build release -DCMAKE_BUILD_TYPE=Release
+run_build asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_ASAN=ON
+run_build ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_UBSAN=ON
+
+echo "=== lint: all Polybench kernels must be diagnostic-free ==="
+./build-check-release/tools/powergear lint
+
+echo "check.sh: release + asan + ubsan + lint all green"

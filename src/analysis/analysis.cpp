@@ -1,0 +1,73 @@
+#include "analysis/analysis.hpp"
+
+#include <functional>
+#include <string>
+
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace powergear::analysis {
+
+bool checks_enabled() {
+#ifdef NDEBUG
+    static const bool on = util::env_int("POWERGEAR_CHECK", 0) != 0;
+#else
+    static const bool on = util::env_int("POWERGEAR_CHECK", 1) != 0;
+#endif
+    return on;
+}
+
+Report check_design(const ir::Function& fn, const hls::ElabGraph& elab,
+                    const hls::Schedule& sched, const graphgen::Graph& graph,
+                    const gnn::GraphTensors& tensors) {
+    Report out;
+    out.merge(check_schedule(fn, elab, sched));
+    out.merge(check_graph(graph));
+    out.merge(check_tensors(tensors));
+    return out;
+}
+
+Report lint_kernel(const ir::Function& fn, const LintOptions& opts) {
+    Report out = lint_ir(fn);
+    out.set_context(fn.name);
+    if (!out.clean()) return out; // downstream passes assume verified IR
+
+    // One trace per kernel, shared across design points (as in generation).
+    sim::Interpreter interp(fn);
+    sim::StimulusProfile stim;
+    stim.seed = util::hash_mix(opts.seed, std::hash<std::string>{}(fn.name));
+    sim::apply_stimulus(interp, fn, stim);
+    const sim::Trace trace = interp.run();
+
+    const hls::ElabGraph base_elab = hls::elaborate(fn, hls::Directives{});
+    const hls::Schedule base_sched = hls::schedule(fn, base_elab);
+    const hls::Binding base_bind = hls::bind(fn, base_elab, base_sched);
+    const hls::HlsReport base_report =
+        hls::make_report(fn, base_elab, base_sched, base_bind);
+
+    const hls::DesignSpace space(fn);
+    for (const hls::Directives& dirs : space.sample(opts.design_points)) {
+        const hls::ElabGraph elab = hls::elaborate(fn, dirs);
+        const hls::Schedule sched = hls::schedule(fn, elab);
+        const hls::Binding binding = hls::bind(fn, elab, sched);
+        const hls::HlsReport report =
+            hls::make_report(fn, elab, sched, binding);
+        const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+        const graphgen::Graph graph =
+            graphgen::construct_graph(fn, elab, binding, oracle);
+        const gnn::GraphTensors tensors = gnn::GraphTensors::from(
+            graph, hls::metadata_features(report, base_report));
+
+        Report point = check_design(fn, elab, sched, graph, tensors);
+        point.set_context(fn.name + "@" + dirs.to_string());
+        out.merge(point);
+    }
+    return out;
+}
+
+} // namespace powergear::analysis

@@ -1,0 +1,85 @@
+// Diagnostic engine shared by every checker pass (src/analysis).
+//
+// A checker reports findings as Diagnostics — a stable rule id (IR001,
+// SCHED003, ...), a severity, an artifact location (which instruction / loop /
+// edge / tensor) and a human-readable message — collected into a Report that
+// renders as text or JSON. Severities come from a central rule registry so a
+// rule means the same thing wherever it fires; the registry doubles as the
+// machine-readable taxonomy documented in DESIGN.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace powergear::analysis {
+
+enum class Severity : int { Note = 0, Warning = 1, Error = 2 };
+
+const char* severity_name(Severity s);
+
+/// One finding. `artifact`/`index` locate it within the checked object
+/// ("instr" 7, "loop" 1, "edge" 23, ...); `context` names the checked object
+/// itself (kernel or kernel@directives) and is usually stamped by the driver.
+struct Diagnostic {
+    std::string rule;
+    Severity severity = Severity::Error;
+    std::string context;
+    std::string artifact;
+    int index = -1;
+    std::string message;
+};
+
+/// Registry entry: the canonical definition of one rule id.
+struct RuleInfo {
+    const char* id;
+    Severity severity;
+    const char* summary;
+};
+
+/// All known rules, grouped by family (IR / SCHED / GRAPH / NN).
+const std::vector<RuleInfo>& rule_registry();
+
+/// Lookup by id; nullptr for unregistered rules.
+const RuleInfo* rule_info(std::string_view id);
+
+/// An ordered collection of diagnostics.
+class Report {
+public:
+    /// Append a finding with the registry severity for `rule` (Error if the
+    /// rule is unregistered — misuse should be loud, not silent).
+    void add(std::string rule, std::string artifact, int index,
+             std::string message);
+    void add(Diagnostic d);
+
+    /// Append all of `other`'s diagnostics.
+    void merge(const Report& other);
+
+    /// Fill the context field of every context-less diagnostic.
+    void set_context(const std::string& context);
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    int size() const { return static_cast<int>(diags_.size()); }
+    int errors() const;
+    int warnings() const;
+    /// No errors (warnings/notes allowed).
+    bool clean() const { return errors() == 0; }
+
+    int count(std::string_view rule) const;
+    bool has(std::string_view rule) const { return count(rule) > 0; }
+
+    /// One line per diagnostic: "error[SCHED001] gemm@L1:u4p: op 12: ...".
+    std::string render_text() const;
+    /// Stable machine-readable form: {"diagnostics":[...],"errors":N,...}.
+    std::string render_json() const;
+
+private:
+    std::vector<Diagnostic> diags_;
+};
+
+/// Throw std::runtime_error carrying the rendered report when it has errors.
+/// `what` names the call site ("dataset::generate_dataset_for", ...).
+void require_clean(const Report& report, const std::string& what);
+
+} // namespace powergear::analysis

@@ -1,0 +1,131 @@
+#include "analysis/graph_check.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace powergear::analysis {
+
+namespace {
+
+using graphgen::Graph;
+using graphgen::NodeClass;
+
+bool check_structure(const Graph& g, Report& out) {
+    bool ok = true;
+    if (g.num_nodes < 0) {
+        out.add("GRAPH000", "graph", -1, "negative node count");
+        ok = false;
+    }
+    if (g.node_dim < graphgen::kNumNodeClasses) {
+        out.add("GRAPH000", "graph", -1,
+                "node_dim " + std::to_string(g.node_dim) +
+                    " cannot hold the class one-hot block");
+        ok = false;
+    }
+    if (ok && static_cast<std::size_t>(g.num_nodes) *
+                      static_cast<std::size_t>(g.node_dim) !=
+                  g.x.size()) {
+        out.add("GRAPH000", "graph", -1,
+                "feature matrix has " + std::to_string(g.x.size()) +
+                    " floats, expected " +
+                    std::to_string(g.num_nodes * g.node_dim));
+        ok = false;
+    }
+    return ok;
+}
+
+} // namespace
+
+int decode_node_class(const Graph& g, int node) {
+    int cls = -1;
+    for (int k = 0; k < graphgen::kNumNodeClasses; ++k) {
+        const float v = g.node_feature(node, k);
+        if (v == 0.0f) continue;
+        if (v != 1.0f || cls >= 0) return -1; // non-binary or multi-hot
+        cls = k;
+    }
+    return cls;
+}
+
+Report check_graph(const Graph& g) {
+    Report out;
+    if (!check_structure(g, out)) return out;
+
+    // Node classes (also validates the one-hot blocks) and finiteness.
+    std::vector<int> node_class(static_cast<std::size_t>(g.num_nodes), -1);
+    for (int v = 0; v < g.num_nodes; ++v) {
+        const int cls = decode_node_class(g, v);
+        node_class[static_cast<std::size_t>(v)] = cls;
+        if (cls < 0)
+            out.add("GRAPH005", "node", v,
+                    "class block is not a one-hot over " +
+                        std::to_string(graphgen::kNumNodeClasses) + " classes");
+        for (int k = 0; k < g.node_dim; ++k)
+            if (!std::isfinite(g.node_feature(v, k))) {
+                out.add("GRAPH003", "node", v,
+                        "non-finite feature at column " + std::to_string(k));
+                break; // one diagnostic per node is enough
+            }
+    }
+
+    std::vector<int> degree(static_cast<std::size_t>(g.num_nodes), 0);
+    for (int ei = 0; ei < static_cast<int>(g.edges.size()); ++ei) {
+        const Graph::Edge& e = g.edges[static_cast<std::size_t>(ei)];
+        if (e.src < 0 || e.src >= g.num_nodes || e.dst < 0 ||
+            e.dst >= g.num_nodes) {
+            out.add("GRAPH001", "edge", ei,
+                    "endpoints (" + std::to_string(e.src) + " -> " +
+                        std::to_string(e.dst) + ") outside [0, " +
+                        std::to_string(g.num_nodes) + ")");
+            continue; // remaining edge rules need valid endpoints
+        }
+        ++degree[static_cast<std::size_t>(e.src)];
+        ++degree[static_cast<std::size_t>(e.dst)];
+
+        if (e.relation < 0 || e.relation >= Graph::kNumRelations) {
+            out.add("GRAPH002", "edge", ei,
+                    "relation id " + std::to_string(e.relation) +
+                        " outside [0, " + std::to_string(Graph::kNumRelations) +
+                        ")");
+        } else {
+            const int src_cls = node_class[static_cast<std::size_t>(e.src)];
+            const int dst_cls = node_class[static_cast<std::size_t>(e.dst)];
+            if (src_cls >= 0 && dst_cls >= 0) {
+                const int expect = Graph::relation_of(
+                    src_cls == static_cast<int>(NodeClass::Arithmetic),
+                    dst_cls == static_cast<int>(NodeClass::Arithmetic));
+                if (e.relation != expect)
+                    out.add("GRAPH002", "edge", ei,
+                            "relation " + std::to_string(e.relation) +
+                                " disagrees with endpoint classes (expected " +
+                                std::to_string(expect) + ")");
+            }
+        }
+        for (float f : e.feat)
+            if (!std::isfinite(f)) {
+                out.add("GRAPH003", "edge", ei, "non-finite edge feature");
+                break;
+            }
+    }
+
+    // Trimming drops bypassed/isolated entities; anything left disconnected
+    // (other than a buffer for an array the datapath never touches, which
+    // buffer insertion does not create) contributes zero messages and only
+    // distorts the sum-pooled readout.
+    for (int v = 0; v < g.num_nodes; ++v) {
+        if (degree[static_cast<std::size_t>(v)] > 0) continue;
+        if (node_class[static_cast<std::size_t>(v)] ==
+            static_cast<int>(NodeClass::Buffer))
+            continue;
+        const std::string label =
+            v < static_cast<int>(g.labels.size())
+                ? g.labels[static_cast<std::size_t>(v)]
+                : std::string("?");
+        out.add("GRAPH004", "node", v,
+                "non-buffer node '" + label + "' has no incident edges");
+    }
+    return out;
+}
+
+} // namespace powergear::analysis

@@ -1,0 +1,21 @@
+// Graph validator: structural and semantic checks on the final graph sample
+// the GNN consumes — edge endpoints in range, relation ids consistent with
+// the endpoint node classes encoded in the feature one-hots, every feature
+// finite, and no isolated non-buffer nodes left behind by trimming. This is
+// the diagnostic superset of Graph::valid(): valid() stays the cheap boolean
+// for hot paths, the checker names every violation.
+// Rules: GRAPH000..GRAPH005; see rule_registry().
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "graphgen/graph.hpp"
+
+namespace powergear::analysis {
+
+Report check_graph(const graphgen::Graph& g);
+
+/// Node class decoded from the feature one-hot block; -1 when the block is
+/// not a valid one-hot (exposed for tests).
+int decode_node_class(const graphgen::Graph& g, int node);
+
+} // namespace powergear::analysis

@@ -1,0 +1,138 @@
+#include "analysis/ir_lint.hpp"
+
+#include <algorithm>
+
+#include "ir/verifier.hpp"
+
+namespace powergear::analysis {
+
+namespace {
+
+using ir::Function;
+using ir::Instr;
+using ir::Opcode;
+
+bool narrowing_checked(Opcode op) {
+    switch (op) {
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::Mul:
+        case Opcode::Div:
+        case Opcode::Rem:
+        case Opcode::And:
+        case Opcode::Or:
+        case Opcode::Xor:
+        case Opcode::Shl:
+        case Opcode::LShr:
+        case Opcode::AShr:
+            return true;
+        default:
+            // ICmp legitimately produces 1 bit; Trunc narrows on purpose;
+            // Select's cond operand is 1 bit and would false-positive.
+            return false;
+    }
+}
+
+void check_dead_defs(const Function& fn, Report& out) {
+    std::vector<bool> used(fn.instrs.size(), false);
+    for (const Instr& in : fn.instrs)
+        for (int opnd : in.operands) used[static_cast<std::size_t>(opnd)] = true;
+    for (int id = 0; id < static_cast<int>(fn.instrs.size()); ++id) {
+        const Instr& in = fn.instr(id);
+        // IndVars are structural (loops own them even when the body never
+        // reads the counter), so an unused one is not a dead def.
+        if (!ir::has_result(in.op) || in.op == Opcode::IndVar) continue;
+        if (!used[static_cast<std::size_t>(id)])
+            out.add("IR001", "instr", id,
+                    std::string(ir::opcode_name(in.op)) + " result is never used");
+    }
+}
+
+void check_loop_reachability(const Function& fn, Report& out) {
+    std::vector<bool> reachable(fn.loops.size(), false);
+    std::vector<int> work;
+    auto visit_items = [&](const std::vector<ir::BodyItem>& items) {
+        for (const ir::BodyItem& item : items)
+            if (item.kind == ir::BodyItem::Kind::ChildLoop &&
+                !reachable[static_cast<std::size_t>(item.index)]) {
+                reachable[static_cast<std::size_t>(item.index)] = true;
+                work.push_back(item.index);
+            }
+    };
+    visit_items(fn.top);
+    while (!work.empty()) {
+        const int l = work.back();
+        work.pop_back();
+        visit_items(fn.loop(l).body);
+    }
+    for (int l = 0; l < static_cast<int>(fn.loops.size()); ++l)
+        if (!reachable[static_cast<std::size_t>(l)])
+            out.add("IR002", "loop", l,
+                    "loop '" + fn.loop(l).name +
+                        "' is not reachable from the function top level");
+}
+
+void check_narrowing(const Function& fn, Report& out) {
+    for (int id = 0; id < static_cast<int>(fn.instrs.size()); ++id) {
+        const Instr& in = fn.instr(id);
+        if (!narrowing_checked(in.op)) continue;
+        // For shifts only the shifted value (operand 0) sets the natural
+        // width; the shift amount may legally be wider or narrower.
+        const bool shift = in.op == Opcode::Shl || in.op == Opcode::LShr ||
+                           in.op == Opcode::AShr;
+        int widest = 0;
+        const std::size_t limit = shift ? 1 : in.operands.size();
+        for (std::size_t k = 0; k < limit && k < in.operands.size(); ++k)
+            widest = std::max(widest, fn.instr(in.operands[k]).bitwidth);
+        if (in.bitwidth < widest)
+            out.add("IR003", "instr", id,
+                    std::string(ir::opcode_name(in.op)) + " narrows " +
+                        std::to_string(widest) + "-bit operand to " +
+                        std::to_string(in.bitwidth) + " bits without a trunc");
+    }
+}
+
+void check_write_only_arrays(const Function& fn, Report& out) {
+    std::vector<bool> stored(fn.arrays.size(), false);
+    std::vector<bool> loaded(fn.arrays.size(), false);
+    for (const Instr& in : fn.instrs) {
+        if (in.array < 0) continue;
+        if (in.op == Opcode::Store) stored[static_cast<std::size_t>(in.array)] = true;
+        if (in.op == Opcode::Load) loaded[static_cast<std::size_t>(in.array)] = true;
+    }
+    for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a) {
+        const ir::ArrayDecl& decl = fn.arrays[static_cast<std::size_t>(a)];
+        // External arrays are kernel outputs — written-never-read is their job.
+        if (decl.is_external) continue;
+        if (stored[static_cast<std::size_t>(a)] && !loaded[static_cast<std::size_t>(a)])
+            out.add("IR004", "array", a,
+                    "internal array '" + decl.name +
+                        "' is stored to but never loaded");
+    }
+}
+
+void check_empty_loops(const Function& fn, Report& out) {
+    for (int l = 0; l < static_cast<int>(fn.loops.size()); ++l)
+        if (fn.loop(l).body.empty())
+            out.add("IR005", "loop", l,
+                    "loop '" + fn.loop(l).name + "' has an empty body");
+}
+
+} // namespace
+
+Report lint_ir(const Function& fn) {
+    Report out;
+    const ir::VerifyResult vr = ir::verify(fn);
+    if (!vr.ok) {
+        out.add("IR000", "function", -1, vr.message);
+        return out; // lint rules assume structural sanity
+    }
+    check_dead_defs(fn, out);
+    check_loop_reachability(fn, out);
+    check_narrowing(fn, out);
+    check_write_only_arrays(fn, out);
+    check_empty_loops(fn, out);
+    return out;
+}
+
+} // namespace powergear::analysis

@@ -1,0 +1,19 @@
+// IR lint: semantic checks layered on top of ir::verify's structural ones.
+//
+// ir::verify answers "is this a well-formed Function object"; the lint pass
+// answers "does this function smell like a kernel the rest of the pipeline
+// can trust" — dead SSA defs, loops detached from the region tree, silently
+// narrowing arithmetic, internal arrays that are written but never read.
+// Rules: IR000 (verifier failure) and IR001..IR005; see rule_registry().
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "ir/ir.hpp"
+
+namespace powergear::analysis {
+
+/// Run ir::verify plus all IR lint rules. A verifier failure short-circuits
+/// the lint rules (they assume structural sanity).
+Report lint_ir(const ir::Function& fn);
+
+} // namespace powergear::analysis

@@ -1,0 +1,133 @@
+#include "analysis/schedule_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace powergear::analysis {
+
+namespace {
+
+using hls::ElabGraph;
+using hls::ElabOp;
+using hls::Schedule;
+
+bool check_structure(const ir::Function& fn, const ElabGraph& elab,
+                     const Schedule& sched, Report& out) {
+    bool ok = true;
+    if (static_cast<int>(sched.op_cycle.size()) != elab.num_ops()) {
+        out.add("SCHED000", "schedule", -1,
+                "op_cycle has " + std::to_string(sched.op_cycle.size()) +
+                    " entries for " + std::to_string(elab.num_ops()) + " ops");
+        ok = false;
+    }
+    if (sched.loops.size() != fn.loops.size()) {
+        out.add("SCHED000", "schedule", -1,
+                "loop table has " + std::to_string(sched.loops.size()) +
+                    " entries for " + std::to_string(fn.loops.size()) + " loops");
+        ok = false;
+    }
+    if (!ok) return false; // remaining rules index both tables
+
+    for (int o = 0; o < elab.num_ops(); ++o)
+        if (sched.op_cycle[static_cast<std::size_t>(o)] < 0)
+            out.add("SCHED000", "op", o, "negative issue cycle");
+    for (int l = 0; l < static_cast<int>(sched.loops.size()); ++l) {
+        const hls::LoopSchedule& ls = sched.loops[static_cast<std::size_t>(l)];
+        if (ls.ii < 1)
+            out.add("SCHED000", "loop", l, "initiation interval < 1");
+        if (ls.iteration_latency < 1)
+            out.add("SCHED000", "loop", l, "iteration latency < 1");
+        if (ls.total_latency < 1)
+            out.add("SCHED000", "loop", l, "non-positive total latency");
+    }
+    if (sched.total_latency < 1)
+        out.add("SCHED000", "schedule", -1, "non-positive design latency");
+    return out.clean();
+}
+
+void check_dependences(const ir::Function& fn, const ElabGraph& elab,
+                       const Schedule& sched, Report& out) {
+    // Cross-region dependences are sequenced by the FSM, not by op cycles;
+    // only intra-region edges constrain issue cycles.
+    for (const hls::ElabEdge& e : elab.edges) {
+        const ElabOp& src = elab.ops[static_cast<std::size_t>(e.src)];
+        const ElabOp& dst = elab.ops[static_cast<std::size_t>(e.dst)];
+        if (src.parent_loop != dst.parent_loop) continue;
+        const int ready = sched.op_cycle[static_cast<std::size_t>(e.src)] +
+                          hls::sched_latency(fn, src);
+        const int issued = sched.op_cycle[static_cast<std::size_t>(e.dst)];
+        if (issued < ready)
+            out.add("SCHED001", "op", e.dst,
+                    std::string(ir::opcode_name(dst.op)) + " issues at cycle " +
+                        std::to_string(issued) + " but operand from op " +
+                        std::to_string(e.src) + " is ready at cycle " +
+                        std::to_string(ready));
+    }
+}
+
+void check_pipeline_ii(const ir::Function& fn, const ElabGraph& elab,
+                       const Schedule& sched, const hls::RegionIndex& regions,
+                       Report& out) {
+    for (int l = 0; l < static_cast<int>(sched.loops.size()); ++l) {
+        const hls::LoopSchedule& ls = sched.loops[static_cast<std::size_t>(l)];
+        if (!ls.pipelined) continue;
+        const std::vector<int>& members = regions.ops_of(l);
+        const int rec = hls::recurrence_mii(fn, elab, members, regions.preds);
+        const int res = hls::resource_mii(fn, elab, members);
+        const int min_ii = std::max(rec, res);
+        if (ls.ii < min_ii)
+            out.add("SCHED002", "loop", l,
+                    "II=" + std::to_string(ls.ii) + " violates MII=" +
+                        std::to_string(min_ii) + " (recurrence " +
+                        std::to_string(rec) + ", resource " +
+                        std::to_string(res) + ")");
+    }
+}
+
+void check_ports(const ir::Function& fn, const ElabGraph& elab,
+                 const Schedule& sched, const hls::RegionIndex& regions,
+                 Report& out) {
+    for (int l = -1; l < static_cast<int>(fn.loops.size()); ++l) {
+        const bool pipelined =
+            l >= 0 && sched.loops[static_cast<std::size_t>(l)].pipelined;
+        const int ii = pipelined ? sched.loops[static_cast<std::size_t>(l)].ii : 0;
+        // (array, bank, wrapped cycle) -> accesses in steady state.
+        std::map<std::tuple<int, int, int>, int> usage;
+        for (int opi : regions.ops_of(l)) {
+            const ElabOp& op = elab.ops[static_cast<std::size_t>(opi)];
+            if (!hls::uses_memory_port(fn, op)) continue;
+            const int banks = elab.directives.banks_of(op.array);
+            const int cycle = sched.op_cycle[static_cast<std::size_t>(opi)];
+            const int wrapped = ii > 0 ? cycle % ii : cycle;
+            ++usage[{op.array, hls::bank_of(op.replica, banks), wrapped}];
+        }
+        for (const auto& [key, n] : usage) {
+            if (n <= 2) continue;
+            const auto& [array, bank, cycle] = key;
+            out.add("SCHED003", "array", array,
+                    "bank " + std::to_string(bank) + " serves " +
+                        std::to_string(n) + " accesses in cycle " +
+                        std::to_string(cycle) +
+                        (ii > 0 ? " (mod II=" + std::to_string(ii) + ")" : "") +
+                        " of region " + (l < 0 ? "top" : fn.loop(l).name) +
+                        " — BRAM has 2 ports");
+        }
+    }
+}
+
+} // namespace
+
+Report check_schedule(const ir::Function& fn, const ElabGraph& elab,
+                      const Schedule& sched) {
+    Report out;
+    if (!check_structure(fn, elab, sched, out)) return out;
+    const hls::RegionIndex regions = hls::build_region_index(fn, elab);
+    check_dependences(fn, elab, sched, out);
+    check_pipeline_ii(fn, elab, sched, regions, out);
+    check_ports(fn, elab, sched, regions, out);
+    return out;
+}
+
+} // namespace powergear::analysis

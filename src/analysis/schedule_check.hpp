@@ -1,0 +1,18 @@
+// Schedule validator: proves an FSMD schedule respects the hardware model
+// the scheduler claims to enforce — data dependences separated by producer
+// latency, pipelined IIs no smaller than the recurrence/resource minimum,
+// and never more than two accesses on one BRAM bank in one (modulo-II)
+// cycle. Shares sched_latency / MII definitions with hls::schedule so the
+// validator can never drift from the scheduler.
+// Rules: SCHED000..SCHED003; see rule_registry().
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "hls/scheduler.hpp"
+
+namespace powergear::analysis {
+
+Report check_schedule(const ir::Function& fn, const hls::ElabGraph& elab,
+                      const hls::Schedule& sched);
+
+} // namespace powergear::analysis

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/analysis.hpp"
 #include "gnn/serialize.hpp"
 
 namespace powergear::core {
@@ -28,6 +29,16 @@ void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
     std::vector<const gnn::GraphTensors*> graphs;
     std::vector<float> labels;
     dataset::collect(train, opts_.kind, graphs, labels);
+
+    // Reject malformed training samples before they poison the ensemble: a
+    // single NaN feature or out-of-range edge index corrupts every member.
+    if (analysis::checks_enabled()) {
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+            analysis::Report r = analysis::check_tensors(*graphs[i]);
+            r.set_context("train sample " + std::to_string(i));
+            analysis::require_clean(r, "PowerGear::fit");
+        }
+    }
 
     gnn::EnsembleConfig ec;
     ec.model.kind = opts_.conv;

@@ -1,5 +1,6 @@
 #include "dataset/generator.hpp"
 
+#include "analysis/analysis.hpp"
 #include "graphgen/features.hpp"
 #include "hls/binding.hpp"
 #include "hls/report.hpp"
@@ -13,6 +14,13 @@
 namespace powergear::dataset {
 
 Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opts) {
+    // A malformed kernel would silently produce garbage labels for every
+    // sample below, so the IR gate is unconditional (it is linear and runs
+    // once per dataset); lint warnings are tolerated, errors are not.
+    analysis::Report ir_report = analysis::lint_ir(fn);
+    ir_report.set_context(fn.name);
+    analysis::require_clean(ir_report, "dataset::generate_dataset_for");
+
     Dataset ds;
     ds.name = fn.name;
 
@@ -52,6 +60,15 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
         smp.metadata = hls::metadata_features(report, base_report);
         smp.tensors = gnn::GraphTensors::from(smp.graph, smp.metadata);
         smp.powergear_runtime_s = pg_timer.seconds();
+
+        // Per-design artifact validation (schedule, graph, tensors) — debug
+        // builds and POWERGEAR_CHECK=1; kept off the timed estimation path.
+        if (analysis::checks_enabled()) {
+            analysis::Report r =
+                analysis::check_design(fn, elab, sched, smp.graph, smp.tensors);
+            r.set_context(fn.name + "@" + dirs.to_string());
+            analysis::require_clean(r, "dataset::generate_dataset_for");
+        }
 
         smp.hlpow_feats = hlpow::hlpow_features(elab, oracle, smp.metadata);
         smp.latency_cycles = report.latency_cycles;

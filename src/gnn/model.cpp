@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "analysis/analysis.hpp"
+
 namespace powergear::gnn {
 
 const char* conv_kind_name(ConvKind k) {
@@ -63,6 +65,11 @@ std::vector<nn::Param*> PowerModel::params() {
 }
 
 int PowerModel::forward(nn::Tape& t, const GraphTensors& g, bool training) {
+    if (analysis::checks_enabled()) {
+        analysis::Report r = analysis::check_model_inputs(
+            cfg_.node_dim, cfg_.metadata_dim, cfg_.edge_dim, cfg_.metadata, g);
+        analysis::require_clean(r, "PowerModel::forward");
+    }
     int h = t.input(g.x);
     int pooled = -1;
     for (auto& conv : convs_) {
@@ -120,6 +127,11 @@ double PowerModel::train_epoch(const std::vector<const GraphTensors*>& graphs,
         const int loss = t.mape_loss(preds, ys);
         adam_->zero_grad();
         t.backward(loss);
+        // Catch exploding/NaN gradients before the optimizer folds them into
+        // the weights, where they would quietly poison every later estimate.
+        if (analysis::checks_enabled())
+            analysis::require_clean(analysis::check_params(params()),
+                                    "PowerModel::train_epoch");
         adam_->step();
         loss_sum += t.value(loss).at(0, 0);
         ++batches;

@@ -22,14 +22,23 @@ int Directives::banks_of(int array_id) const {
 
 std::string Directives::to_string() const {
     std::string s;
+    // Built with += (not `"L" + std::to_string(...)` chains): GCC 12's -O3
+    // inliner flags that pattern with a bogus -Wrestrict (PR105651), and the
+    // tree builds warning-clean with -Werror.
     for (const auto& [loop, d] : loops) {
         if (!s.empty()) s += '|';
-        s += "L" + std::to_string(loop) + ":u" + std::to_string(d.unroll) +
-             (d.pipeline ? "p" : "");
+        s += 'L';
+        s += std::to_string(loop);
+        s += ":u";
+        s += std::to_string(d.unroll);
+        if (d.pipeline) s += 'p';
     }
     for (const auto& [arr, banks] : array_partition) {
         if (!s.empty()) s += '|';
-        s += "A" + std::to_string(arr) + ":" + std::to_string(banks);
+        s += 'A';
+        s += std::to_string(arr);
+        s += ':';
+        s += std::to_string(banks);
     }
     return s.empty() ? "baseline" : s;
 }

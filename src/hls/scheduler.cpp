@@ -7,10 +7,6 @@
 
 namespace powergear::hls {
 
-namespace {
-
-/// Scheduling latency of one op. Scalar-register accesses are forwarded
-/// (latency 0) like HLS register binding, enabling II=1 accumulation.
 int sched_latency(const ir::Function& fn, const ElabOp& op) {
     if ((op.op == ir::Opcode::Load || op.op == ir::Opcode::Store) && op.array >= 0) {
         const ir::ArrayDecl& a = fn.arrays[static_cast<std::size_t>(op.array)];
@@ -19,21 +15,30 @@ int sched_latency(const ir::Function& fn, const ElabOp& op) {
     return characterize(op.op, op.bitwidth).latency;
 }
 
-/// True when the op consumes a physical BRAM port this cycle.
-bool uses_port(const ir::Function& fn, const ElabOp& op) {
+bool uses_memory_port(const ir::Function& fn, const ElabOp& op) {
     if (op.op != ir::Opcode::Load && op.op != ir::Opcode::Store) return false;
     const ir::ArrayDecl& a = fn.arrays[static_cast<std::size_t>(op.array)];
     return !a.is_register();
 }
 
-struct RegionSched {
-    int depth = 1;
-    int ii = 1;
-};
+RegionIndex build_region_index(const ir::Function& fn, const ElabGraph& elab) {
+    RegionIndex idx;
+    const int num_loops = static_cast<int>(fn.loops.size());
+    idx.region_ops.assign(static_cast<std::size_t>(num_loops + 1), {});
+    for (int o = 0; o < elab.num_ops(); ++o)
+        idx.region_ops[static_cast<std::size_t>(
+                           elab.ops[static_cast<std::size_t>(o)].parent_loop + 1)]
+            .push_back(o);
 
-/// Longest SSA path (in scheduling latency) from a load of a scalar register
-/// to a store of the same register within one region — the loop-carried
-/// recurrence bound on II.
+    idx.preds.assign(static_cast<std::size_t>(elab.num_ops()), {});
+    for (const ElabEdge& e : elab.edges) {
+        if (elab.ops[static_cast<std::size_t>(e.src)].parent_loop ==
+            elab.ops[static_cast<std::size_t>(e.dst)].parent_loop)
+            idx.preds[static_cast<std::size_t>(e.dst)].push_back(e.src);
+    }
+    return idx;
+}
+
 int recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
                    const std::vector<int>& member_ops,
                    const std::vector<std::vector<int>>& preds) {
@@ -65,6 +70,27 @@ int recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
     return std::max(1, mii);
 }
 
+int resource_mii(const ir::Function& fn, const ElabGraph& elab,
+                 const std::vector<int>& member_ops) {
+    std::map<std::pair<int, int>, int> per_bank;
+    for (int opi : member_ops) {
+        const ElabOp& op = elab.ops[static_cast<std::size_t>(opi)];
+        if (!uses_memory_port(fn, op)) continue;
+        const int banks = elab.directives.banks_of(op.array);
+        ++per_bank[{op.array, bank_of(op.replica, banks)}];
+    }
+    int mii = 1;
+    for (const auto& [key, n] : per_bank) mii = std::max(mii, (n + 1) / 2);
+    return mii;
+}
+
+namespace {
+
+struct RegionSched {
+    int depth = 1;
+    int ii = 1;
+};
+
 /// ASAP + memory-port-constrained schedule of one region's ops.
 /// When `ii > 0` the port constraint wraps modulo ii (pipelined kernel).
 RegionSched schedule_region(const ir::Function& fn, const ElabGraph& elab,
@@ -80,7 +106,7 @@ RegionSched schedule_region(const ir::Function& fn, const ElabGraph& elab,
             const ElabOp& pop = elab.ops[static_cast<std::size_t>(p)];
             c = std::max(c, op_cycle[static_cast<std::size_t>(p)] + sched_latency(fn, pop));
         }
-        if (uses_port(fn, op)) {
+        if (uses_memory_port(fn, op)) {
             const int banks = elab.directives.banks_of(op.array);
             const std::pair<int, int> key{op.array, bank_of(op.replica, banks)};
             auto& usage = port_used[key];
@@ -108,32 +134,8 @@ Schedule schedule(const ir::Function& fn, const ElabGraph& elab) {
     s.op_cycle.assign(static_cast<std::size_t>(elab.num_ops()), 0);
 
     // Region membership and intra-region predecessor lists.
-    std::vector<std::vector<int>> region_ops(static_cast<std::size_t>(num_loops + 1));
-    auto region_index = [&](int loop) { return static_cast<std::size_t>(loop + 1); };
-    for (int o = 0; o < elab.num_ops(); ++o)
-        region_ops[region_index(elab.ops[static_cast<std::size_t>(o)].parent_loop)]
-            .push_back(o);
-
-    std::vector<std::vector<int>> preds(static_cast<std::size_t>(elab.num_ops()));
-    for (const ElabEdge& e : elab.edges) {
-        if (elab.ops[static_cast<std::size_t>(e.src)].parent_loop ==
-            elab.ops[static_cast<std::size_t>(e.dst)].parent_loop)
-            preds[static_cast<std::size_t>(e.dst)].push_back(e.src);
-    }
-
-    // Resource MII from memory ports for a pipelined region.
-    auto resource_mii = [&](const std::vector<int>& members) {
-        std::map<std::pair<int, int>, int> per_bank;
-        for (int opi : members) {
-            const ElabOp& op = elab.ops[static_cast<std::size_t>(opi)];
-            if (!uses_port(fn, op)) continue;
-            const int banks = elab.directives.banks_of(op.array);
-            ++per_bank[{op.array, bank_of(op.replica, banks)}];
-        }
-        int mii = 1;
-        for (const auto& [key, n] : per_bank) mii = std::max(mii, (n + 1) / 2);
-        return mii;
-    };
+    const RegionIndex regions = build_region_index(fn, elab);
+    const std::vector<std::vector<int>>& preds = regions.preds;
 
     // Schedule loops bottom-up (children have larger ids than parents is not
     // guaranteed in general IR, but Builder appends children after parents,
@@ -142,14 +144,14 @@ Schedule schedule(const ir::Function& fn, const ElabGraph& elab) {
         const ir::Loop& loop = fn.loop(l);
         LoopSchedule& ls = s.loops[static_cast<std::size_t>(l)];
         ls.loop = l;
-        const std::vector<int>& members = region_ops[region_index(l)];
+        const std::vector<int>& members = regions.ops_of(l);
 
         const bool innermost = fn.is_innermost(l);
         const bool pipelined = innermost && elab.directives.pipelined(l);
         int ii = 0;
         if (pipelined) {
             ii = std::max(recurrence_mii(fn, elab, members, preds),
-                          resource_mii(members));
+                          resource_mii(fn, elab, members));
         }
         const RegionSched rs =
             schedule_region(fn, elab, members, preds, s.op_cycle, ii);
@@ -177,7 +179,7 @@ Schedule schedule(const ir::Function& fn, const ElabGraph& elab) {
 
     // Top-level region.
     const RegionSched top =
-        schedule_region(fn, elab, region_ops[0], preds, s.op_cycle, 0);
+        schedule_region(fn, elab, regions.ops_of(-1), preds, s.op_cycle, 0);
     std::int64_t total = top.depth;
     int states = top.depth + 1;
     for (const ir::BodyItem& item : fn.top)

@@ -42,4 +42,39 @@ Schedule schedule(const ir::Function& fn, const ElabGraph& elab);
 /// array partitioning).
 inline int bank_of(int replica, int banks) { return banks <= 1 ? 0 : replica % banks; }
 
+// --- scheduling model primitives -------------------------------------------
+// Shared between the scheduler and the schedule validator (src/analysis) so
+// both sides agree on what a legal schedule is.
+
+/// Scheduling latency of one op. Scalar-register accesses are forwarded
+/// (latency 0) like HLS register binding, enabling II=1 accumulation.
+int sched_latency(const ir::Function& fn, const ElabOp& op);
+
+/// True when the op consumes a physical BRAM port in its issue cycle.
+bool uses_memory_port(const ir::Function& fn, const ElabOp& op);
+
+/// Region decomposition of an elaborated design: which ops each loop region
+/// (index `loop + 1`; 0 is the function top level) schedules, plus each op's
+/// intra-region SSA predecessors.
+struct RegionIndex {
+    std::vector<std::vector<int>> region_ops;
+    std::vector<std::vector<int>> preds; ///< indexed by elab op id
+
+    const std::vector<int>& ops_of(int loop) const {
+        return region_ops.at(static_cast<std::size_t>(loop + 1));
+    }
+};
+
+RegionIndex build_region_index(const ir::Function& fn, const ElabGraph& elab);
+
+/// Loop-carried recurrence bound on II: longest SSA path (in scheduling
+/// latency) from a scalar-register load to a store of the same register.
+int recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
+                   const std::vector<int>& member_ops,
+                   const std::vector<std::vector<int>>& preds);
+
+/// Memory-port contention bound on II: ceil(accesses per bank / 2 ports).
+int resource_mii(const ir::Function& fn, const ElabGraph& elab,
+                 const std::vector<int>& member_ops);
+
 } // namespace powergear::hls

@@ -54,7 +54,11 @@ void emit_nest(Builder& b, const SyntheticSpec& spec, util::Rng& rng,
                const std::vector<int>& arrays, std::vector<int>& ivs,
                int depth, int& loop_counter) {
     const int trip = static_cast<int>(rng.next_range(spec.min_trip, spec.max_trip));
-    b.begin_loop("L" + std::to_string(loop_counter++), trip);
+    // += instead of `"L" + ...`: avoids GCC 12's -O3 -Wrestrict false
+    // positive (PR105651) so the tree builds with -Werror.
+    std::string loop_name = "L";
+    loop_name += std::to_string(loop_counter++);
+    b.begin_loop(loop_name, trip);
     ivs.push_back(b.indvar());
     if (depth + 1 < spec.max_depth && rng.next_bool(0.6)) {
         // Occasionally emit a statement before recursing so bodies are not

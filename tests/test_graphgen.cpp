@@ -63,8 +63,9 @@ TEST(BufferInsertion, OneBufferPerArrayBank) {
     EXPECT_EQ(count_buffers(g), 4 + 1 + 1 + 1);
     // Allocas were removed.
     for (const auto& node : g.nodes)
-        if (!node.removed && !node.is_buffer)
+        if (!node.removed && !node.is_buffer) {
             EXPECT_NE(node.op, ir::Opcode::Alloca);
+        }
 }
 
 TEST(BufferInsertion, StoreAndLoadEdgesPointThroughBuffer) {

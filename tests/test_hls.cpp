@@ -166,7 +166,9 @@ TEST(Binding, SharedUnitsOnlyForExpensiveOps) {
     const ir::Function fn = kernels::build_polybench("k3mm", 6);
     const Flow f = run_flow(fn, Directives{});
     for (const hls::Unit& u : f.binding.units) {
-        if (u.shared) EXPECT_TRUE(hls::shareable(u.op));
+        if (u.shared) {
+            EXPECT_TRUE(hls::shareable(u.op));
+        }
         EXPECT_GT(u.num_ops, 0);
     }
     // Sequential matmul loops share multipliers: fewer mul units than muls.

@@ -136,8 +136,9 @@ TEST(Integration, GraphSizeTracksDirectiveAggressiveness) {
         if (u == 1)
             min_unroll_nodes = std::min(min_unroll_nodes, s.graph.num_nodes);
     }
-    if (max_unroll > 1 && min_unroll_nodes < (1 << 30))
+    if (max_unroll > 1 && min_unroll_nodes < (1 << 30)) {
         EXPECT_GT(nodes_at_max, min_unroll_nodes);
+    }
 }
 
 TEST(Integration, HlPowAndPowerGearBothLearnTheSuite) {

@@ -136,8 +136,9 @@ TEST(Stimulus, DeterministicAndRespectsActiveBits) {
     sim::apply_stimulus(i2, fn, p);
     for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a) {
         EXPECT_EQ(i1.array(a), i2.array(a));
-        if (fn.arrays[static_cast<std::size_t>(a)].is_external)
+        if (fn.arrays[static_cast<std::size_t>(a)].is_external) {
             for (std::uint32_t v : i1.array(a)) EXPECT_LT(v, 256u);
+        }
     }
 }
 
@@ -146,8 +147,9 @@ TEST(Stimulus, InternalArraysStayZero) {
     sim::Interpreter interp(fn);
     sim::apply_stimulus(interp, fn, {});
     for (int a = 0; a < static_cast<int>(fn.arrays.size()); ++a)
-        if (!fn.arrays[static_cast<std::size_t>(a)].is_external)
+        if (!fn.arrays[static_cast<std::size_t>(a)].is_external) {
             for (std::uint32_t v : interp.array(a)) EXPECT_EQ(v, 0u);
+        }
 }
 
 TEST(Activity, StatsOfHandComputed) {

@@ -7,6 +7,7 @@
 //                      [--kind dynamic]
 //   powergear dse      --kernel atax --samples 48 --budget 0.4
 //                      [--train bicg,gemm,syrk]
+//   powergear lint     [kernel] [--size 16] [--points 6] [--json]
 //
 // Dataset generation is deterministic for a given (kernel, samples, size,
 // seed), so models trained in one invocation estimate datasets generated in
@@ -18,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "core/powergear.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
 #include "dse/explorer.hpp"
+#include "kernels/polybench.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 
@@ -32,6 +35,7 @@ namespace {
 struct Args {
     std::string command;
     std::map<std::string, std::string> options;
+    std::vector<std::string> positional;
 
     bool has(const std::string& key) const { return options.count(key) > 0; }
     std::string get(const std::string& key, const std::string& fallback = "") const {
@@ -51,10 +55,19 @@ struct Args {
 Args parse(int argc, char** argv) {
     Args a;
     if (argc >= 2) a.command = argv[1];
-    for (int i = 2; i + 1 < argc; i += 2) {
-        std::string key = argv[i];
-        if (key.rfind("--", 0) == 0) key = key.substr(2);
-        a.options[key] = argv[i + 1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            // "--key value", or a bare "--flag" (next arg absent or an
+            // option itself) which stores "1".
+            const std::string key = arg.substr(2);
+            std::string value = "1";
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+                value = argv[++i];
+            a.options[key] = std::move(value);
+        } else {
+            a.positional.push_back(arg);
+        }
     }
     return a;
 }
@@ -207,6 +220,39 @@ int cmd_dse(const Args& a) {
     return 0;
 }
 
+int cmd_lint(const Args& a) {
+    // "lint <kernel>" or "lint --kernel <kernel>"; no kernel = whole suite.
+    std::vector<std::string> names;
+    if (!a.positional.empty())
+        names.push_back(a.positional.front());
+    else if (a.has("kernel"))
+        names.push_back(a.get("kernel"));
+    else
+        names = kernels::polybench_names();
+
+    analysis::LintOptions lo;
+    lo.design_points = a.get_int("points", 6);
+    lo.seed = static_cast<std::uint64_t>(a.get_int("seed", 42));
+    const int size = a.get_int("size", 16);
+    const bool json = a.has("json");
+
+    analysis::Report all;
+    for (const std::string& name : names) {
+        const ir::Function fn = kernels::build_polybench(name, size);
+        all.merge(analysis::lint_kernel(fn, lo));
+    }
+    if (json) {
+        std::printf("%s\n", all.render_json().c_str());
+    } else {
+        std::printf("%s", all.render_text().c_str());
+        std::printf("lint: %d kernel(s), %d design point(s) each: "
+                    "%d diagnostic(s) (%d error(s), %d warning(s))\n",
+                    static_cast<int>(names.size()), lo.design_points,
+                    all.size(), all.errors(), all.warnings());
+    }
+    return all.errors() > 0 ? 2 : (all.empty() ? 0 : 1);
+}
+
 void usage() {
     std::printf(
         "powergear — early-stage HLS power estimation (PowerGear reproduction)\n"
@@ -216,7 +262,10 @@ void usage() {
         "  train    --kernels A,B,C --out M.pgm [--kind dynamic --epochs N\n"
         "           --folds K --seeds S --hidden H]            train + save\n"
         "  estimate --model M.pgm --kernel K [--kind dynamic]  estimate designs\n"
-        "  dse      --kernel K [--train A,B,C --budget 0.4]    explore a space\n");
+        "  dse      --kernel K [--train A,B,C --budget 0.4]    explore a space\n"
+        "  lint     [K] [--size S --points N --json]           static-check the\n"
+        "           pipeline artifacts of one kernel (default: all kernels);\n"
+        "           exit 0 = clean, 1 = warnings, 2 = errors\n");
 }
 
 } // namespace
@@ -228,6 +277,7 @@ int main(int argc, char** argv) {
         if (args.command == "train") return cmd_train(args);
         if (args.command == "estimate") return cmd_estimate(args);
         if (args.command == "dse") return cmd_dse(args);
+        if (args.command == "lint") return cmd_lint(args);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
