@@ -15,6 +15,7 @@
 #include "hlpow/hlpow.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -35,8 +36,10 @@ inline std::vector<dataset::Dataset> make_suite(const util::BenchScale& scale) {
             kernels::build_synthetic(kernels::SyntheticSpec{}, rng, k);
         suite.push_back(dataset::generate_dataset_for(fn, gen));
     }
-    std::printf("[setup] generated %zu datasets x %d samples in %.1fs\n",
-                suite.size(), scale.samples_per_dataset, t.seconds());
+    std::printf("[setup] generated %zu datasets x %d samples in %.1fs "
+                "(%d job%s)\n",
+                suite.size(), scale.samples_per_dataset, t.seconds(),
+                util::parallel_jobs(), util::parallel_jobs() == 1 ? "" : "s");
     return suite;
 }
 

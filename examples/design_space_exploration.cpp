@@ -32,29 +32,28 @@ int main() {
     std::printf("Dynamic-power MAPE on atax: %.2f%%\n",
                 pg.evaluate_mape(dataset::pool_of(suite[target])));
 
-    // Objective points over the whole atax space: exact latency from HLS,
-    // power predicted by the model vs measured by the board.
-    std::vector<dse::Point> truth, predicted;
+    // The Explorer scores every candidate concurrently with the trained
+    // estimator (exact latency comes from HLS, truth from the board) before
+    // running the sequential refinement loop.
     const auto& ds = suite[target];
-    for (int i = 0; i < ds.size(); ++i) {
-        const auto& s = ds.samples[static_cast<std::size_t>(i)];
-        truth.push_back({static_cast<double>(s.latency_cycles),
-                         s.dynamic_power_w, i});
-        predicted.push_back({static_cast<double>(s.latency_cycles),
-                             pg.estimate(s), i});
-    }
+    const core::SamplePool candidates = dataset::pool_of(ds);
+    const auto predictor = [&pg](const dataset::Sample& s) {
+        return pg.estimate(s);
+    };
 
     for (double budget : {0.2, 0.3, 0.4}) {
         dse::ExplorerConfig cfg;
         cfg.total_budget = budget;
-        const dse::DseResult res = dse::explore(predicted, truth, cfg);
+        const dse::DseResult res =
+            dse::Explorer(cfg).run(candidates, predictor);
         std::printf("budget %2.0f%%: sampled %2zu/%d designs, ADRS %.4f, "
                     "frontier %zu points\n",
                     budget * 100, res.sampled.size(), ds.size(), res.adrs_value,
                     res.approx_front.size());
     }
 
-    const dse::DseResult full = dse::explore(predicted, truth, {0.02, 1.0, 5});
+    const dse::DseResult full =
+        dse::Explorer({0.02, 1.0, 5}).run(candidates, predictor);
     std::printf("(exhaustive sampling reaches ADRS %.4f by construction)\n",
                 full.adrs_value);
     return 0;

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Sanitizer-hardened verification gate.
 #
-# Builds the tree three ways — plain Release, AddressSanitizer and
-# UndefinedBehaviorSanitizer (both at RelWithDebInfo so the 311-test suite
-# stays fast) — with warnings-as-errors everywhere, runs the full ctest
-# suite under each, and finishes with a `powergear lint` sweep over every
-# built-in Polybench kernel (must report zero diagnostics).
+# Builds the tree four ways — plain Release, AddressSanitizer,
+# UndefinedBehaviorSanitizer and ThreadSanitizer (sanitizers at
+# RelWithDebInfo so the test suite stays fast) — with warnings-as-errors
+# everywhere, runs the full ctest suite under each, then re-runs the
+# Release suite under both POWERGEAR_JOBS=1 and POWERGEAR_JOBS=4 to prove
+# the thread-pool runtime is deterministic and safe at either extreme.
+# Finishes with a `powergear lint` sweep over every built-in Polybench
+# kernel (must report zero diagnostics).
 #
-#   scripts/check.sh            # all three builds + lint
+#   scripts/check.sh            # all four builds + jobs matrix + lint
 #   JOBS=4 scripts/check.sh     # cap build/test parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,8 +32,18 @@ run_build() {
 run_build release -DCMAKE_BUILD_TYPE=Release
 run_build asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_ASAN=ON
 run_build ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_UBSAN=ON
+run_build tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_TSAN=ON
+
+# Thread-pool job matrix: the full suite must pass fully serial and with a
+# forced 4-worker pool (the determinism tests additionally assert that both
+# settings produce bit-identical weights, estimates and dataset labels).
+for n in 1 4; do
+    echo "=== [jobs=$n] ctest (POWERGEAR_JOBS=$n) ==="
+    (cd build-check-release &&
+        POWERGEAR_JOBS=$n ctest --output-on-failure -j "$JOBS")
+done
 
 echo "=== lint: all Polybench kernels must be diagnostic-free ==="
 ./build-check-release/tools/powergear lint
 
-echo "check.sh: release + asan + ubsan + lint all green"
+echo "check.sh: release + asan + ubsan + tsan + jobs matrix + lint all green"

@@ -56,6 +56,15 @@ const std::vector<RuleInfo>& rule_registry() {
          "non-finite parameter or gradient after backward"},
         {"NN004", Severity::Error,
          "model/sample dimension mismatch in a forward pass"},
+        // --- public API configuration (core::PowerGear::Options) -----------
+        {"API001", Severity::Error, "non-positive training epoch count"},
+        {"API002", Severity::Error,
+         "ensemble would train no members (folds and seeds both < 1)"},
+        {"API003", Severity::Error, "dropout probability outside [0, 1)"},
+        {"API004", Severity::Error, "non-positive learning rate"},
+        {"API005", Severity::Error, "non-positive mini-batch size"},
+        {"API006", Severity::Error,
+         "non-positive hidden width or conv layer count"},
     };
     return rules;
 }

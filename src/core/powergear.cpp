@@ -4,6 +4,7 @@
 
 #include "analysis/analysis.hpp"
 #include "gnn/serialize.hpp"
+#include "util/parallel.hpp"
 
 namespace powergear::core {
 
@@ -23,8 +24,42 @@ PowerGear::Options PowerGear::Options::from_bench_scale(
     return o;
 }
 
-void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
+analysis::Report PowerGear::Options::validate() const {
+    analysis::Report r;
+    if (epochs <= 0)
+        r.add("API001", "epochs", epochs,
+              "epoch count must be >= 1 (got " + std::to_string(epochs) + ")");
+    if (folds < 1 && seeds < 1)
+        r.add("API002", "folds/seeds", folds,
+              "folds (" + std::to_string(folds) + ") and seeds (" +
+                  std::to_string(seeds) +
+                  ") both < 1: the ensemble would train no members");
+    if (dropout < 0.0f || dropout >= 1.0f)
+        r.add("API003", "dropout", -1,
+              "dropout must lie in [0, 1) (got " + std::to_string(dropout) +
+                  ")");
+    if (learning_rate <= 0.0)
+        r.add("API004", "learning_rate", -1,
+              "learning rate must be positive (got " +
+                  std::to_string(learning_rate) + ")");
+    if (batch_size <= 0)
+        r.add("API005", "batch_size", batch_size,
+              "batch size must be >= 1 (got " + std::to_string(batch_size) +
+                  ")");
+    if (hidden <= 0 || layers <= 0)
+        r.add("API006", "hidden/layers", hidden <= 0 ? hidden : layers,
+              "hidden width and layer count must be >= 1 (got hidden=" +
+                  std::to_string(hidden) + ", layers=" +
+                  std::to_string(layers) + ")");
+    r.set_context("PowerGear::Options");
+    return r;
+}
+
+void PowerGear::fit(const SamplePool& train) {
     if (train.empty()) throw std::invalid_argument("PowerGear::fit: empty pool");
+    // A bad config misbehaves silently (zero members, NaN weights, ...) far
+    // from its origin, so validation is unconditional — not checks_enabled().
+    analysis::require_clean(opts_.validate(), "PowerGear::fit");
 
     std::vector<const gnn::GraphTensors*> graphs;
     std::vector<float> labels;
@@ -59,8 +94,13 @@ void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
     ec.epochs = opts_.epochs;
     ec.batch_size = opts_.batch_size;
 
-    ensemble_.fit(graphs, labels, ec);
+    ensemble_.fit(std::span<const gnn::GraphTensors* const>(graphs),
+                  std::span<const float>(labels), ec);
     fitted_ = true;
+}
+
+void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
+    fit(SamplePool(train));
 }
 
 double PowerGear::estimate(const dataset::Sample& sample) const {
@@ -70,6 +110,18 @@ double PowerGear::estimate(const dataset::Sample& sample) const {
 double PowerGear::estimate(const gnn::GraphTensors& tensors) const {
     if (!fitted_) throw std::logic_error("PowerGear::estimate before fit");
     return ensemble_.predict(tensors);
+}
+
+std::vector<Estimate> PowerGear::estimate_batch(const SamplePool& samples) const {
+    if (!fitted_)
+        throw std::logic_error("PowerGear::estimate_batch before fit");
+    // predict_stats only reads member weights, so samples fan out freely;
+    // slot-per-task assignment keeps the order identical to a serial run.
+    return util::parallel_map<Estimate>(samples.size(), [&](std::size_t i) {
+        const gnn::Ensemble::Stats st = ensemble_.predict_stats(samples[i].tensors);
+        return Estimate{static_cast<double>(st.mean),
+                        static_cast<double>(st.spread)};
+    });
 }
 
 void PowerGear::save(const std::string& path) const {
@@ -82,12 +134,17 @@ void PowerGear::load(const std::string& path) {
     fitted_ = ensemble_.num_members() > 0;
 }
 
-double PowerGear::evaluate_mape(
-    const std::vector<const dataset::Sample*>& test) const {
+double PowerGear::evaluate_mape(const SamplePool& test) const {
     std::vector<const gnn::GraphTensors*> graphs;
     std::vector<float> labels;
     dataset::collect(test, opts_.kind, graphs, labels);
-    return ensemble_.evaluate_mape(graphs, labels);
+    return ensemble_.evaluate_mape(std::span<const gnn::GraphTensors* const>(graphs),
+                                   std::span<const float>(labels));
+}
+
+double PowerGear::evaluate_mape(
+    const std::vector<const dataset::Sample*>& test) const {
+    return evaluate_mape(SamplePool(test));
 }
 
 } // namespace powergear::core

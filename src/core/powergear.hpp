@@ -4,18 +4,33 @@
 // estimate total or dynamic power for unseen designs straight from their HLS
 // artifacts — no implementation flow, no re-training (transferability).
 //
+// The API is batch-first: pools of samples are passed as core::SamplePool
+// views (non-owning, span-based) and estimate_batch fans the ensemble out
+// over all samples on the util::parallel pool, returning structured
+// Estimate{watts, member_spread} results. Results are bit-identical for
+// every POWERGEAR_JOBS value.
+//
 // Typical use:
 //   auto suite = dataset::generate_polybench_suite(opts);
 //   PowerGear pg(PowerGear::Options::from_bench_scale(scale, PowerKind::Dynamic));
 //   pg.fit(dataset::pool_except(suite, test_idx));
-//   double watts = pg.estimate(suite[test_idx].samples[0]);
+//   auto ests = pg.estimate_batch(dataset::pool_of(suite[test_idx]));
 #pragma once
 
+#include "analysis/diagnostic.hpp"
+#include "core/sample_pool.hpp"
 #include "dataset/sample.hpp"
 #include "gnn/ensemble.hpp"
 #include "util/env.hpp"
 
 namespace powergear::core {
+
+/// One structured estimation result.
+struct Estimate {
+    double watts = 0.0;         ///< ensemble-mean power estimate
+    double member_spread = 0.0; ///< stddev across ensemble members (0 for
+                                ///< a single-member "sgl." estimator)
+};
 
 class PowerGear {
 public:
@@ -41,19 +56,35 @@ public:
         /// Resolve model scale from the POWERGEAR_* environment bundle.
         static Options from_bench_scale(const util::BenchScale& s,
                                         dataset::PowerKind kind);
+
+        /// Configuration diagnostics through the src/analysis engine
+        /// (API00x rules); fit() refuses configs whose report has errors.
+        analysis::Report validate() const;
     };
 
     explicit PowerGear(Options opts) : opts_(opts) {}
 
     /// Train the ensemble on a pool of samples (e.g. eight of nine datasets
-    /// in the leave-one-application-out protocol).
+    /// in the leave-one-application-out protocol). Validates the options
+    /// first; (fold x seed) members train concurrently.
+    void fit(const SamplePool& train);
+
+    /// Deprecated pointer-vector form (one release).
+    [[deprecated("use fit(core::SamplePool)")]]
     void fit(const std::vector<const dataset::Sample*>& train);
 
     /// Power estimate (watts) for one sample's graph + metadata.
     double estimate(const dataset::Sample& sample) const;
     double estimate(const gnn::GraphTensors& tensors) const;
 
+    /// Batch estimation: one Estimate per pool entry, in pool order, fanned
+    /// out over the parallel runtime (bit-identical at any job count).
+    std::vector<Estimate> estimate_batch(const SamplePool& samples) const;
+
     /// MAPE (%) against board measurements on a test pool.
+    double evaluate_mape(const SamplePool& test) const;
+
+    [[deprecated("use evaluate_mape(core::SamplePool)")]]
     double evaluate_mape(const std::vector<const dataset::Sample*>& test) const;
 
     /// Persist the trained ensemble to a file (text format, bit-exact).

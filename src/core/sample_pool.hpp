@@ -1,0 +1,77 @@
+// Batch-first sample handle for the public estimator API.
+//
+// A SamplePool is a cheap, non-owning, ordered view over dataset samples —
+// the unit every batch entry point (PowerGear::fit / estimate_batch /
+// evaluate_mape, dse::Explorer::run) consumes. It never copies or owns the
+// samples themselves; at most it carries a shared pointer index (the
+// "backed" pools built by of/except/adopt) so the view stays valid while any
+// copy of the pool is alive. Plain views over a caller's own pointer array
+// cost two words and borrow the array instead.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataset/sample.hpp"
+
+namespace powergear::core {
+
+class SamplePool {
+public:
+    using View = std::span<const dataset::Sample* const>;
+
+    SamplePool() = default;
+
+    /// Non-owning view; the pointer array must outlive every use of the pool.
+    SamplePool(View view) : view_(view) {}
+    SamplePool(const std::vector<const dataset::Sample*>& ptrs)
+        : view_(ptrs.data(), ptrs.size()) {}
+
+    /// Pool backed by its own (shared) pointer index. The samples themselves
+    /// stay borrowed from the datasets that own them.
+    static SamplePool adopt(std::vector<const dataset::Sample*> ptrs) {
+        SamplePool p;
+        p.index_ = std::make_shared<const std::vector<const dataset::Sample*>>(
+            std::move(ptrs));
+        p.view_ = View(p.index_->data(), p.index_->size());
+        return p;
+    }
+
+    /// Every sample of one dataset, in design-index order.
+    static SamplePool of(const dataset::Dataset& ds) {
+        std::vector<const dataset::Sample*> ptrs;
+        ptrs.reserve(ds.samples.size());
+        for (const dataset::Sample& s : ds.samples) ptrs.push_back(&s);
+        return adopt(std::move(ptrs));
+    }
+
+    /// Every sample of every dataset except `held_out` (leave-one-out pools).
+    static SamplePool except(std::span<const dataset::Dataset> suite,
+                             std::size_t held_out) {
+        std::vector<const dataset::Sample*> ptrs;
+        for (std::size_t d = 0; d < suite.size(); ++d) {
+            if (d == held_out) continue;
+            for (const dataset::Sample& s : suite[d].samples)
+                ptrs.push_back(&s);
+        }
+        return adopt(std::move(ptrs));
+    }
+
+    std::size_t size() const { return view_.size(); }
+    bool empty() const { return view_.empty(); }
+
+    const dataset::Sample& operator[](std::size_t i) const { return *view_[i]; }
+
+    View view() const { return view_; }
+    operator View() const { return view_; }
+
+    View::iterator begin() const { return view_.begin(); }
+    View::iterator end() const { return view_.end(); }
+
+private:
+    View view_;
+    std::shared_ptr<const std::vector<const dataset::Sample*>> index_;
+};
+
+} // namespace powergear::core

@@ -8,6 +8,7 @@
 #include "hlpow/features.hpp"
 #include "kernels/polybench.hpp"
 #include "sim/interpreter.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -42,11 +43,17 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
     const std::vector<hls::Directives> points =
         space.sample(opts.samples_per_dataset);
 
-    std::uint64_t design_index = 0;
-    for (const hls::Directives& dirs : points) {
+    // Design points are independent given the shared trace and baseline
+    // report (both read-only from here): the HLS -> activity -> graph ->
+    // board-label flow fans out one task per point. Every stochastic input
+    // (stimulus trace, per-sample measurement jitter) is derived from hashes
+    // of (kernel, design_index), not from a shared generator, so the samples
+    // are bit-identical at any POWERGEAR_JOBS value.
+    ds.samples = util::parallel_map<Sample>(points.size(), [&](std::size_t p) {
+        const hls::Directives& dirs = points[p];
         Sample smp;
         smp.kernel = fn.name;
-        smp.design_index = design_index++;
+        smp.design_index = static_cast<std::uint64_t>(p);
         smp.directives = dirs;
 
         // --- PowerGear-side flow (timed): HLS + graph construction --------
@@ -91,8 +98,8 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
             smp.vivado_runtime_s = est.runtime_s;
         }
 
-        ds.samples.push_back(std::move(smp));
-    }
+        return smp;
+    });
     return ds;
 }
 

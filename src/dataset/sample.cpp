@@ -9,7 +9,7 @@ double Dataset::avg_nodes() const {
     return s / static_cast<double>(samples.size());
 }
 
-void collect(const std::vector<const Sample*>& samples, PowerKind kind,
+void collect(std::span<const Sample* const> samples, PowerKind kind,
              std::vector<const gnn::GraphTensors*>& graphs,
              std::vector<float>& labels) {
     graphs.clear();
@@ -22,7 +22,7 @@ void collect(const std::vector<const Sample*>& samples, PowerKind kind,
     }
 }
 
-void collect_hlpow(const std::vector<const Sample*>& samples, PowerKind kind,
+void collect_hlpow(std::span<const Sample* const> samples, PowerKind kind,
                    std::vector<std::vector<float>>& feats,
                    std::vector<float>& labels) {
     feats.clear();

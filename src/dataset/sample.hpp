@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -53,13 +54,14 @@ struct Dataset {
     int size() const { return static_cast<int>(samples.size()); }
 };
 
-/// Extract parallel (tensor pointers, labels) arrays from a sample span.
-void collect(const std::vector<const Sample*>& samples, PowerKind kind,
+/// Extract parallel (tensor pointers, labels) arrays from a sample view
+/// (a core::SamplePool converts implicitly).
+void collect(std::span<const Sample* const> samples, PowerKind kind,
              std::vector<const gnn::GraphTensors*>& graphs,
              std::vector<float>& labels);
 
 /// Same for HL-Pow features.
-void collect_hlpow(const std::vector<const Sample*>& samples, PowerKind kind,
+void collect_hlpow(std::span<const Sample* const> samples, PowerKind kind,
                    std::vector<std::vector<float>>& feats,
                    std::vector<float>& labels);
 

@@ -2,8 +2,10 @@
 
 namespace powergear::dataset {
 
-std::vector<const Sample*> pool_except(const std::vector<Dataset>& suite,
-                                       std::size_t held_out) {
+namespace {
+
+std::vector<const Sample*> collect_except(const std::vector<Dataset>& suite,
+                                          std::size_t held_out) {
     std::vector<const Sample*> out;
     for (std::size_t d = 0; d < suite.size(); ++d) {
         if (d == held_out) continue;
@@ -12,11 +14,31 @@ std::vector<const Sample*> pool_except(const std::vector<Dataset>& suite,
     return out;
 }
 
-std::vector<const Sample*> pool_of(const Dataset& ds) {
+std::vector<const Sample*> collect_of(const Dataset& ds) {
     std::vector<const Sample*> out;
     out.reserve(ds.samples.size());
     for (const Sample& s : ds.samples) out.push_back(&s);
     return out;
+}
+
+} // namespace
+
+core::SamplePool pool_except(const std::vector<Dataset>& suite,
+                             std::size_t held_out) {
+    return core::SamplePool::adopt(collect_except(suite, held_out));
+}
+
+core::SamplePool pool_of(const Dataset& ds) {
+    return core::SamplePool::adopt(collect_of(ds));
+}
+
+std::vector<const Sample*> pool_except_ptrs(const std::vector<Dataset>& suite,
+                                            std::size_t held_out) {
+    return collect_except(suite, held_out);
+}
+
+std::vector<const Sample*> pool_of_ptrs(const Dataset& ds) {
+    return collect_of(ds);
 }
 
 } // namespace powergear::dataset

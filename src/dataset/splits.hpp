@@ -1,19 +1,32 @@
 // Train/test split helpers for the paper's leave-one-application-out
 // evaluation protocol: the target application's dataset is held out entirely
 // and models train on the other eight (transferability to unseen kernels).
+//
+// Both helpers return core::SamplePool views backed by their own shared
+// pointer index — the batch-first currency of the estimator API. The
+// previous std::vector<const Sample*> forms survive as deprecated shims.
 #pragma once
 
 #include <vector>
 
+#include "core/sample_pool.hpp"
 #include "dataset/sample.hpp"
 
 namespace powergear::dataset {
 
-/// Pointers to every sample of every dataset except `held_out`.
-std::vector<const Sample*> pool_except(const std::vector<Dataset>& suite,
-                                       std::size_t held_out);
+/// Pool over every sample of every dataset except `held_out`.
+core::SamplePool pool_except(const std::vector<Dataset>& suite,
+                             std::size_t held_out);
 
-/// Pointers to the samples of one dataset.
-std::vector<const Sample*> pool_of(const Dataset& ds);
+/// Pool over the samples of one dataset.
+core::SamplePool pool_of(const Dataset& ds);
+
+/// Deprecated pointer-vector forms (one release): prefer the SamplePool
+/// returns above, which share an index instead of copying one per call.
+[[deprecated("use pool_except (returns core::SamplePool)")]]
+std::vector<const Sample*> pool_except_ptrs(const std::vector<Dataset>& suite,
+                                            std::size_t held_out);
+[[deprecated("use pool_of (returns core::SamplePool)")]]
+std::vector<const Sample*> pool_of_ptrs(const Dataset& ds);
 
 } // namespace powergear::dataset

@@ -8,11 +8,19 @@
 // approximate Pareto set is the frontier of the sampled points under their
 // evaluated (true) objectives; its quality is reported as ADRS against the
 // exact frontier of the full space.
+//
+// Explorer is the batch-first front end: hand it the candidate design points
+// (a core::SamplePool) and a power predictor, and it evaluates every
+// candidate concurrently on the util::parallel pool before running the
+// (inherently sequential) refinement loop. The point-level explore()
+// function remains the deterministic core.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "core/sample_pool.hpp"
 #include "dse/adrs.hpp"
 
 namespace powergear::dse {
@@ -34,5 +42,29 @@ struct DseResult {
 /// identical latency (exact, from HLS), power = model estimate vs board truth.
 DseResult explore(const std::vector<Point>& predicted,
                   const std::vector<Point>& truth, const ExplorerConfig& cfg);
+
+class Explorer {
+public:
+    explicit Explorer(ExplorerConfig cfg = {}) : cfg_(cfg) {}
+
+    /// Score every candidate concurrently with `power` (e.g. a bound
+    /// PowerGear::estimate — it must be safe to call from several threads),
+    /// take exact latency and the ground-truth label from the samples, then
+    /// run the refinement loop. Results are bit-identical at any job count.
+    DseResult run(const core::SamplePool& candidates,
+                  const std::function<double(const dataset::Sample&)>& power,
+                  dataset::PowerKind kind = dataset::PowerKind::Dynamic) const;
+
+    /// Precomputed-points form, for predictors scored elsewhere.
+    DseResult run(const std::vector<Point>& predicted,
+                  const std::vector<Point>& truth) const {
+        return explore(predicted, truth, cfg_);
+    }
+
+    const ExplorerConfig& config() const { return cfg_; }
+
+private:
+    ExplorerConfig cfg_;
+};
 
 } // namespace powergear::dse

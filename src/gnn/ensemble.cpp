@@ -5,30 +5,38 @@
 #include <stdexcept>
 
 #include "nn/layers.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace powergear::gnn {
 
 namespace {
 
+/// One (fold, seed) member's training recipe, derived serially before the
+/// fan-out so partitions and seeds never depend on execution order.
+struct MemberSpec {
+    std::vector<int> train_idx;
+    std::vector<int> val_idx;
+    std::uint64_t seed = 0;
+};
+
 /// Train one model on (train, val) index sets with best-on-validation
-/// snapshot selection.
+/// snapshot selection. Self-contained: touches only its own model state.
 std::unique_ptr<PowerModel> train_member(
-    const std::vector<const GraphTensors*>& graphs,
-    const std::vector<float>& targets,
-    const std::vector<int>& train_idx, const std::vector<int>& val_idx,
-    const EnsembleConfig& cfg, std::uint64_t member_seed) {
+    std::span<const GraphTensors* const> graphs,
+    std::span<const float> targets, const MemberSpec& spec,
+    const EnsembleConfig& cfg) {
     ModelConfig mc = cfg.model;
-    mc.seed = member_seed;
+    mc.seed = spec.seed;
     auto model = std::make_unique<PowerModel>(mc);
 
     std::vector<const GraphTensors*> train_g, val_g;
     std::vector<float> train_y, val_y;
-    for (int i : train_idx) {
+    for (int i : spec.train_idx) {
         train_g.push_back(graphs[static_cast<std::size_t>(i)]);
         train_y.push_back(targets[static_cast<std::size_t>(i)]);
     }
-    for (int i : val_idx) {
+    for (int i : spec.val_idx) {
         val_g.push_back(graphs[static_cast<std::size_t>(i)]);
         val_y.push_back(targets[static_cast<std::size_t>(i)]);
     }
@@ -60,8 +68,8 @@ std::unique_ptr<PowerModel> train_member(
 
 } // namespace
 
-void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
-                   const std::vector<float>& targets,
+void Ensemble::fit(std::span<const GraphTensors* const> graphs,
+                   std::span<const float> targets,
                    const EnsembleConfig& cfg) {
     if (graphs.size() != targets.size() || graphs.size() < 2)
         throw std::invalid_argument("Ensemble::fit: need >= 2 samples");
@@ -69,6 +77,7 @@ void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
 
     const int n = static_cast<int>(graphs.size());
     const int seeds = std::max(1, cfg.seeds);
+    std::vector<MemberSpec> specs;
     for (int seed = 0; seed < seeds; ++seed) {
         util::Rng rng(cfg.model.seed * 1000003ull +
                       static_cast<std::uint64_t>(seed) * 9176ull + 11ull);
@@ -81,26 +90,39 @@ void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
             // Single model: 20% validation split.
             const int val_n = std::max(
                 1, static_cast<int>(std::lround(cfg.validation_fraction * n)));
-            std::vector<int> val_idx(order.begin(), order.begin() + val_n);
-            std::vector<int> train_idx(order.begin() + val_n, order.end());
-            if (train_idx.empty()) std::swap(train_idx, val_idx);
-            members_.push_back(train_member(graphs, targets, train_idx, val_idx,
-                                            cfg, cfg.model.seed + 7919ull * seed));
+            MemberSpec spec;
+            spec.val_idx.assign(order.begin(), order.begin() + val_n);
+            spec.train_idx.assign(order.begin() + val_n, order.end());
+            if (spec.train_idx.empty()) std::swap(spec.train_idx, spec.val_idx);
+            spec.seed = cfg.model.seed + 7919ull * seed;
+            specs.push_back(std::move(spec));
             continue;
         }
         for (int fold = 0; fold < folds; ++fold) {
-            std::vector<int> train_idx, val_idx;
+            MemberSpec spec;
             for (int i = 0; i < n; ++i) {
                 if (i % folds == fold)
-                    val_idx.push_back(order[static_cast<std::size_t>(i)]);
+                    spec.val_idx.push_back(order[static_cast<std::size_t>(i)]);
                 else
-                    train_idx.push_back(order[static_cast<std::size_t>(i)]);
+                    spec.train_idx.push_back(order[static_cast<std::size_t>(i)]);
             }
-            members_.push_back(train_member(
-                graphs, targets, train_idx, val_idx, cfg,
-                cfg.model.seed + 7919ull * seed + 13ull * fold));
+            spec.seed = cfg.model.seed + 7919ull * seed + 13ull * fold;
+            specs.push_back(std::move(spec));
         }
     }
+
+    // Members are independent; train them concurrently, slotted by index.
+    members_ = util::parallel_map<std::unique_ptr<PowerModel>>(
+        specs.size(), [&](std::size_t m) {
+            return train_member(graphs, targets, specs[m], cfg);
+        });
+}
+
+void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
+                   const std::vector<float>& targets,
+                   const EnsembleConfig& cfg) {
+    fit(std::span<const GraphTensors* const>(graphs),
+        std::span<const float>(targets), cfg);
 }
 
 std::vector<PowerModel*> Ensemble::members() const {
@@ -121,14 +143,43 @@ float Ensemble::predict(const GraphTensors& g) const {
     return static_cast<float>(s / static_cast<double>(members_.size()));
 }
 
+Ensemble::Stats Ensemble::predict_stats(const GraphTensors& g) const {
+    if (members_.empty()) throw std::logic_error("Ensemble::predict before fit");
+    std::vector<double> preds;
+    preds.reserve(members_.size());
+    for (const auto& m : members_) preds.push_back(m->predict(g));
+    double mean = 0.0;
+    for (double p : preds) mean += p;
+    mean /= static_cast<double>(preds.size());
+    double var = 0.0;
+    for (double p : preds) var += (p - mean) * (p - mean);
+    var /= static_cast<double>(preds.size());
+    Stats st;
+    st.mean = static_cast<float>(mean);
+    st.spread = static_cast<float>(std::sqrt(var));
+    return st;
+}
+
+double Ensemble::evaluate_mape(std::span<const GraphTensors* const> graphs,
+                               std::span<const float> targets) const {
+    if (graphs.size() != targets.size())
+        throw std::invalid_argument("evaluate_mape: size mismatch");
+    // Per-sample predictions are independent (predict only reads member
+    // weights); the summation below stays in index order for bit-identical
+    // results at any job count.
+    const std::vector<float> preds = util::parallel_map<float>(
+        graphs.size(), [&](std::size_t i) { return predict(*graphs[i]); });
+    double s = 0.0;
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+        s += std::abs(preds[i] - targets[i]) /
+             std::max(1e-9f, std::abs(targets[i]));
+    return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());
+}
+
 double Ensemble::evaluate_mape(const std::vector<const GraphTensors*>& graphs,
                                const std::vector<float>& targets) const {
-    double s = 0.0;
-    for (std::size_t i = 0; i < graphs.size(); ++i) {
-        const float p = predict(*graphs[i]);
-        s += std::abs(p - targets[i]) / std::max(1e-9f, std::abs(targets[i]));
-    }
-    return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());
+    return evaluate_mape(std::span<const GraphTensors* const>(graphs),
+                         std::span<const float>(targets));
 }
 
 } // namespace powergear::gnn

@@ -4,9 +4,16 @@
 // best-on-validation weight selection, and predictions are averaged.
 // folds <= 1 degrades to a single model with a 20% validation split (the
 // paper's "sgl." ablation and the baseline-GNN setting).
+//
+// Members are independent by construction — each owns its weights, optimizer
+// state and RNG stream, seeded from the config — so fit() trains them
+// concurrently on the util::parallel pool. Every train/validation partition
+// is derived serially before the fan-out, which keeps the trained weights
+// bit-identical for every POWERGEAR_JOBS value.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "gnn/model.hpp"
@@ -24,13 +31,34 @@ struct EnsembleConfig {
 
 class Ensemble {
 public:
-    /// Train all members on the given samples (non-owning pointers).
+    /// Mean prediction plus the disagreement across ensemble members.
+    struct Stats {
+        float mean = 0.0f;
+        float spread = 0.0f; ///< population stddev of member predictions
+    };
+
+    /// Train all members (one per fold x seed, concurrently) on the given
+    /// samples. Both spans are borrowed only for the duration of the call.
+    void fit(std::span<const GraphTensors* const> graphs,
+             std::span<const float> targets, const EnsembleConfig& cfg);
+
+    /// Deprecated vector form (one release); forwards to the span overload.
+    [[deprecated("use the std::span overload")]]
     void fit(const std::vector<const GraphTensors*>& graphs,
              const std::vector<float>& targets, const EnsembleConfig& cfg);
 
     /// Average member predictions.
     float predict(const GraphTensors& g) const;
 
+    /// Average plus member spread in one pass over the members.
+    Stats predict_stats(const GraphTensors& g) const;
+
+    /// MAPE (%) against targets; per-sample predictions fan out over the
+    /// parallel pool, the reduction order stays fixed (bit-identical).
+    double evaluate_mape(std::span<const GraphTensors* const> graphs,
+                         std::span<const float> targets) const;
+
+    [[deprecated("use the std::span overload")]]
     double evaluate_mape(const std::vector<const GraphTensors*>& graphs,
                          const std::vector<float>& targets) const;
 

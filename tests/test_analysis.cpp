@@ -83,7 +83,7 @@ TEST(Diagnostics, RegistryHasUniqueIdsAcrossAllFamilies) {
     const auto& reg = analysis::rule_registry();
     ASSERT_FALSE(reg.empty());
     std::set<std::string> ids;
-    bool ir = false, sched = false, graph = false, nn = false;
+    bool ir = false, sched = false, graph = false, nn = false, api = false;
     for (const analysis::RuleInfo& r : reg) {
         EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule " << r.id;
         const std::string id = r.id;
@@ -91,9 +91,10 @@ TEST(Diagnostics, RegistryHasUniqueIdsAcrossAllFamilies) {
         sched |= id.rfind("SCHED", 0) == 0;
         graph |= id.rfind("GRAPH", 0) == 0;
         nn |= id.rfind("NN", 0) == 0;
+        api |= id.rfind("API", 0) == 0;
         EXPECT_NE(r.summary[0], '\0');
     }
-    EXPECT_TRUE(ir && sched && graph && nn);
+    EXPECT_TRUE(ir && sched && graph && nn && api);
 }
 
 TEST(Diagnostics, RuleLookupResolvesSeverity) {

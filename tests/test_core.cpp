@@ -79,7 +79,7 @@ TEST(PowerGearApi, EstimateBeforeFitThrows) {
 
 TEST(PowerGearApi, FitRejectsEmptyPool) {
     PowerGear pg(quick_opts(dataset::PowerKind::Total));
-    EXPECT_THROW(pg.fit({}), std::invalid_argument);
+    EXPECT_THROW(pg.fit(core::SamplePool{}), std::invalid_argument);
 }
 
 TEST(PowerGearApi, OptionsFromBenchScale) {
@@ -102,6 +102,100 @@ TEST(PowerGearApi, OptionsFromBenchScale) {
         PowerGear::Options::from_bench_scale(s, dataset::PowerKind::Dynamic);
     EXPECT_EQ(dyn.epochs, 154);
     EXPECT_EQ(dyn.kind, dataset::PowerKind::Dynamic);
+}
+
+TEST(PowerGearOptions, ValidateAcceptsDefaults) {
+    EXPECT_TRUE(PowerGear::Options{}.validate().clean());
+    EXPECT_TRUE(quick_opts(dataset::PowerKind::Total).validate().clean());
+}
+
+TEST(PowerGearOptions, EveryApiRuleFiresOnASeededViolation) {
+    {
+        PowerGear::Options o;
+        o.epochs = 0;
+        EXPECT_TRUE(o.validate().has("API001"));
+    }
+    {
+        PowerGear::Options o;
+        o.folds = 0;
+        o.seeds = 0;
+        EXPECT_TRUE(o.validate().has("API002"));
+        o.seeds = 1; // one axis >= 1 trains single-split members: fine again
+        EXPECT_TRUE(o.validate().clean());
+    }
+    {
+        PowerGear::Options o;
+        o.dropout = -0.1f;
+        EXPECT_TRUE(o.validate().has("API003"));
+        o.dropout = 1.0f;
+        EXPECT_TRUE(o.validate().has("API003"));
+    }
+    {
+        PowerGear::Options o;
+        o.learning_rate = 0.0;
+        EXPECT_TRUE(o.validate().has("API004"));
+    }
+    {
+        PowerGear::Options o;
+        o.batch_size = 0;
+        EXPECT_TRUE(o.validate().has("API005"));
+    }
+    {
+        PowerGear::Options o;
+        o.hidden = 0;
+        EXPECT_TRUE(o.validate().has("API006"));
+        o.hidden = 16;
+        o.layers = -1;
+        EXPECT_TRUE(o.validate().has("API006"));
+    }
+}
+
+TEST(PowerGearOptions, FitRoutesBadConfigThroughDiagnostics) {
+    PowerGear::Options o = quick_opts(dataset::PowerKind::Total);
+    o.epochs = 0;
+    o.dropout = -1.0f;
+    PowerGear pg(o);
+    try {
+        pg.fit(dataset::pool_of(suite()[0]));
+        FAIL() << "fit accepted an invalid configuration";
+    } catch (const std::runtime_error& e) {
+        // The diagnostic rendering names the offending rules.
+        EXPECT_NE(std::string(e.what()).find("API001"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("API003"), std::string::npos);
+    }
+}
+
+TEST(PowerGearApi, EstimateBatchMatchesSingleSampleEstimates) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Dynamic));
+    pg.fit(dataset::pool_except(suite(), 1));
+    const core::SamplePool test = dataset::pool_of(suite()[1]);
+    const std::vector<core::Estimate> ests = pg.estimate_batch(test);
+    ASSERT_EQ(ests.size(), test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ests[i].watts, pg.estimate(test[i]));
+        EXPECT_GE(ests[i].member_spread, 0.0);
+        EXPECT_TRUE(std::isfinite(ests[i].member_spread));
+    }
+}
+
+TEST(PowerGearApi, EstimateBatchBeforeFitThrows) {
+    PowerGear pg(quick_opts(dataset::PowerKind::Total));
+    EXPECT_THROW(pg.estimate_batch(dataset::pool_of(suite()[0])),
+                 std::logic_error);
+}
+
+TEST(PowerGearApi, DeprecatedVectorOverloadsStillWork) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    PowerGear pg(quick_opts(dataset::PowerKind::Total));
+    std::vector<const dataset::Sample*> train;
+    for (std::size_t d = 0; d < 2; ++d)
+        for (const auto& s : suite()[d].samples) train.push_back(&s);
+    pg.fit(train); // forwards to fit(SamplePool)
+    std::vector<const dataset::Sample*> test;
+    for (const auto& s : suite()[2].samples) test.push_back(&s);
+    EXPECT_TRUE(std::isfinite(pg.evaluate_mape(test)));
+#pragma GCC diagnostic pop
 }
 
 TEST(PowerGearApi, AblationOptionsPropagate) {

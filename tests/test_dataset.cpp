@@ -108,6 +108,7 @@ TEST(Splits, PoolExceptExcludesOnlyHeldOut) {
     const auto own = dataset::pool_of(suite[1]);
     EXPECT_EQ(own.size(), 3u);
     for (const Sample* s : own) EXPECT_EQ(s->kernel, "gemm");
+    EXPECT_TRUE(core::SamplePool().empty());
 }
 
 TEST(Splits, CollectExtractsParallelArrays) {
@@ -119,13 +120,45 @@ TEST(Splits, CollectExtractsParallelArrays) {
     ASSERT_EQ(graphs.size(), 4u);
     ASSERT_EQ(labels.size(), 4u);
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-        EXPECT_EQ(graphs[i], &pool[i]->tensors);
-        EXPECT_FLOAT_EQ(labels[i], static_cast<float>(pool[i]->dynamic_power_w));
+        EXPECT_EQ(graphs[i], &pool[i].tensors);
+        EXPECT_FLOAT_EQ(labels[i], static_cast<float>(pool[i].dynamic_power_w));
     }
     std::vector<std::vector<float>> feats;
     dataset::collect_hlpow(pool, PowerKind::Total, feats, labels);
     EXPECT_EQ(feats.size(), 4u);
-    EXPECT_EQ(feats[0], pool[0]->hlpow_feats);
+    EXPECT_EQ(feats[0], pool[0].hlpow_feats);
+}
+
+TEST(Splits, SamplePoolOutlivesItsBuilderAndSharesIndex) {
+    const Dataset ds = dataset::generate_dataset("atax", quick_opts(3));
+    core::SamplePool copy;
+    {
+        const core::SamplePool pool = dataset::pool_of(ds);
+        copy = pool; // shares the pointer index; samples stay borrowed
+    }
+    ASSERT_EQ(copy.size(), 3u);
+    for (const Sample* s : copy.view()) EXPECT_EQ(s->kernel, "atax");
+    // A plain view over a caller-owned pointer array borrows instead.
+    std::vector<const Sample*> ptrs{&ds.samples[0]};
+    const core::SamplePool view(ptrs);
+    EXPECT_EQ(&view[0], &ds.samples[0]);
+}
+
+TEST(Splits, DeprecatedPtrsFormsMatchPools) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    std::vector<Dataset> suite;
+    for (const char* k : {"atax", "gemm"})
+        suite.push_back(dataset::generate_dataset(k, quick_opts(3)));
+    const std::vector<const Sample*> old_pool =
+        dataset::pool_except_ptrs(suite, 0);
+    const core::SamplePool pool = dataset::pool_except(suite, 0);
+    ASSERT_EQ(old_pool.size(), pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        EXPECT_EQ(old_pool[i], &pool[i]);
+    const std::vector<const Sample*> old_of = dataset::pool_of_ptrs(suite[1]);
+    EXPECT_EQ(old_of.size(), dataset::pool_of(suite[1]).size());
+#pragma GCC diagnostic pop
 }
 
 TEST(Generator, StimulusProfileAffectsActivityLabels) {

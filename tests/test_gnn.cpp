@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 
 #include "gnn/ensemble.hpp"
 #include "ir/ir.hpp"
@@ -194,9 +195,40 @@ TEST(Ensemble, AveragesMembersAndEvaluates) {
     cfg.epochs = 30;
     cfg.batch_size = 4;
     gnn::Ensemble ens;
-    ens.fit(graphs, targets, cfg);
+    ens.fit(std::span<const GraphTensors* const>(graphs),
+            std::span<const float>(targets), cfg);
     EXPECT_EQ(ens.num_members(), 4); // 2 folds x 2 seeds
-    EXPECT_LT(ens.evaluate_mape(graphs, targets), 60.0);
+    EXPECT_LT(ens.evaluate_mape(std::span<const GraphTensors* const>(graphs),
+                                std::span<const float>(targets)),
+              60.0);
+
+    // Mean/spread agree with predict(); four members disagree a little.
+    const gnn::Ensemble::Stats st = ens.predict_stats(*graphs[0]);
+    EXPECT_FLOAT_EQ(st.mean, ens.predict(*graphs[0]));
+    EXPECT_GE(st.spread, 0.0f);
+}
+
+TEST(Ensemble, DeprecatedVectorOverloadsStillWork) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    std::vector<GraphTensors> storage;
+    std::vector<float> targets;
+    for (int i = 0; i < 6; ++i) {
+        storage.push_back(tiny_tensors(0.5f + 0.3f * i, 1.0 + 0.2 * i));
+        targets.push_back(0.3f + 0.07f * i);
+    }
+    std::vector<const GraphTensors*> graphs;
+    for (const auto& g : storage) graphs.push_back(&g);
+    gnn::EnsembleConfig cfg;
+    cfg.model = tiny_config(ConvKind::HecGnn);
+    cfg.folds = 2;
+    cfg.seeds = 1;
+    cfg.epochs = 5;
+    gnn::Ensemble ens;
+    ens.fit(graphs, targets, cfg); // vector form forwards to the span one
+    EXPECT_EQ(ens.num_members(), 2);
+    EXPECT_TRUE(std::isfinite(ens.evaluate_mape(graphs, targets)));
+#pragma GCC diagnostic pop
 }
 
 TEST(Ensemble, SingleModelModeUsesValidationSplit) {
@@ -214,8 +246,11 @@ TEST(Ensemble, SingleModelModeUsesValidationSplit) {
     cfg.seeds = 1;
     cfg.epochs = 10;
     gnn::Ensemble ens;
-    ens.fit(graphs, targets, cfg);
+    ens.fit(std::span<const GraphTensors* const>(graphs),
+            std::span<const float>(targets), cfg);
     EXPECT_EQ(ens.num_members(), 1);
+    // A single member cannot disagree with itself.
+    EXPECT_FLOAT_EQ(ens.predict_stats(*graphs[0]).spread, 0.0f);
 }
 
 TEST(Ensemble, PredictBeforeFitThrows) {

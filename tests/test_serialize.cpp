@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <span>
 #include <sstream>
 
 #include "gnn/serialize.hpp"
@@ -85,7 +86,8 @@ TEST(Serialize, EnsembleRoundTripAveragesIdentically) {
     cfg.seeds = 1;
     cfg.epochs = 5;
     gnn::Ensemble ens;
-    ens.fit(graphs, targets, cfg);
+    ens.fit(std::span<const GraphTensors* const>(graphs),
+            std::span<const float>(targets), cfg);
 
     const GraphTensors g = probe_graph();
     const float before = ens.predict(g);

@@ -9,13 +9,19 @@
 //                      [--train bicg,gemm,syrk]
 //   powergear lint     [kernel] [--size 16] [--points 6] [--json]
 //
+// gen/train/estimate/dse accept --jobs N to size the parallel runtime
+// (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial). Results
+// are bit-identical for every job count.
+//
 // Dataset generation is deterministic for a given (kernel, samples, size,
 // seed), so models trained in one invocation estimate datasets generated in
 // another.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "kernels/polybench.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/parallel.hpp"
 
 using namespace powergear;
 
@@ -52,24 +59,47 @@ struct Args {
     }
 };
 
+/// Malformed command line; main() reports it with a usage hint and exit 2.
+struct UsageError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+/// Flags that take no value; everything else written as "--key" demands one.
+const std::set<std::string>& boolean_flags() {
+    static const std::set<std::string> flags = {"json"};
+    return flags;
+}
+
 Args parse(int argc, char** argv) {
     Args a;
     if (argc >= 2) a.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
-            // "--key value", or a bare "--flag" (next arg absent or an
-            // option itself) which stores "1".
             const std::string key = arg.substr(2);
-            std::string value = "1";
-            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
-                value = argv[++i];
-            a.options[key] = std::move(value);
+            if (boolean_flags().count(key)) {
+                a.options.insert_or_assign(key, std::string("1"));
+                continue;
+            }
+            // "--key value": a trailing flag or one followed by another
+            // option is missing its value — error out instead of quietly
+            // parsing a bogus placeholder.
+            if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+                throw UsageError("option --" + key + " requires a value");
+            a.options[key] = argv[++i];
         } else {
             a.positional.push_back(arg);
         }
     }
     return a;
+}
+
+/// Apply --jobs (gen/train/estimate/dse) before any parallel work starts.
+void apply_jobs(const Args& a) {
+    if (!a.has("jobs")) return;
+    const int jobs = a.get_int("jobs", 0);
+    if (jobs < 1) throw UsageError("--jobs must be a positive integer");
+    util::set_parallel_jobs(jobs);
 }
 
 std::vector<std::string> split_list(const std::string& csv) {
@@ -134,9 +164,10 @@ int cmd_train(const Args& a) {
         std::printf("generating %s...\n", k.c_str());
         suite.push_back(dataset::generate_dataset(k, generator_options(a)));
     }
-    std::vector<const dataset::Sample*> pool;
+    std::vector<const dataset::Sample*> ptrs;
     for (const auto& ds : suite)
-        for (const auto& s : ds.samples) pool.push_back(&s);
+        for (const auto& s : ds.samples) ptrs.push_back(&s);
+    const core::SamplePool pool = core::SamplePool::adopt(std::move(ptrs));
 
     core::PowerGear::Options opts = core::PowerGear::Options::from_bench_scale(
         util::bench_scale(), kind_of(a));
@@ -169,18 +200,25 @@ int cmd_estimate(const Args& a) {
 
     const dataset::Dataset ds =
         dataset::generate_dataset(a.get("kernel"), generator_options(a));
-    util::Table table({"design", "directives", "estimated_W", "measured_W",
-                       "error_%"});
-    for (const auto& s : ds.samples) {
-        const double est = pg.estimate(s);
+    // One batched call: the ensemble fans out over all designs and reports
+    // the member spread as a per-estimate confidence signal.
+    const core::SamplePool pool = dataset::pool_of(ds);
+    const std::vector<core::Estimate> ests = pg.estimate_batch(pool);
+    util::Table table({"design", "directives", "estimated_W", "spread_W",
+                       "measured_W", "error_%"});
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const auto& s = pool[i];
         const double truth = static_cast<double>(s.label(opts.kind));
-        table.add_row({std::to_string(s.design_index),
-                       s.directives.to_string(), util::Table::num(est, 4),
-                       util::Table::num(truth, 4),
-                       util::Table::num(100.0 * std::abs(est - truth) / truth, 2)});
+        table.add_row(
+            {std::to_string(s.design_index), s.directives.to_string(),
+             util::Table::num(ests[i].watts, 4),
+             util::Table::num(ests[i].member_spread, 4),
+             util::Table::num(truth, 4),
+             util::Table::num(100.0 * std::abs(ests[i].watts - truth) / truth,
+                              2)});
     }
     std::printf("%s", table.to_ascii().c_str());
-    std::printf("MAPE: %.2f%%\n", pg.evaluate_mape(dataset::pool_of(ds)));
+    std::printf("MAPE: %.2f%%\n", pg.evaluate_mape(pool));
     return 0;
 }
 
@@ -198,17 +236,13 @@ int cmd_dse(const Args& a) {
     core::PowerGear pg(opts);
     pg.fit(dataset::pool_except(suite, tgt));
 
-    std::vector<dse::Point> truth, predicted;
-    for (int i = 0; i < suite[tgt].size(); ++i) {
-        const auto& s = suite[tgt].samples[static_cast<std::size_t>(i)];
-        truth.push_back({static_cast<double>(s.latency_cycles),
-                         s.dynamic_power_w, i});
-        predicted.push_back({static_cast<double>(s.latency_cycles),
-                             pg.estimate(s), i});
-    }
     dse::ExplorerConfig cfg;
     cfg.total_budget = a.get_double("budget", 0.4);
-    const dse::DseResult res = dse::explore(predicted, truth, cfg);
+    const dse::Explorer explorer(cfg);
+    const dse::DseResult res = explorer.run(
+        dataset::pool_of(suite[tgt]),
+        [&pg](const dataset::Sample& s) { return pg.estimate(s); },
+        dataset::PowerKind::Dynamic);
     std::printf("explored %zu/%d designs (budget %.0f%%), ADRS %.4f\n",
                 res.sampled.size(), suite[tgt].size(), 100 * cfg.total_budget,
                 res.adrs_value);
@@ -265,23 +299,35 @@ void usage() {
         "  dse      --kernel K [--train A,B,C --budget 0.4]    explore a space\n"
         "  lint     [K] [--size S --points N --json]           static-check the\n"
         "           pipeline artifacts of one kernel (default: all kernels);\n"
-        "           exit 0 = clean, 1 = warnings, 2 = errors\n");
+        "           exit 0 = clean, 1 = warnings, 2 = errors\n"
+        "\n"
+        "gen/train/estimate/dse also take --jobs N (parallel runtime width;\n"
+        "default POWERGEAR_JOBS or hardware concurrency, 1 = serial —\n"
+        "results are bit-identical either way).\n");
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    const Args args = parse(argc, argv);
     try {
+        const Args args = parse(argc, argv);
+        if (args.command == "gen" || args.command == "train" ||
+            args.command == "estimate" || args.command == "dse")
+            apply_jobs(args);
         if (args.command == "gen") return cmd_gen(args);
         if (args.command == "train") return cmd_train(args);
         if (args.command == "estimate") return cmd_estimate(args);
         if (args.command == "dse") return cmd_dse(args);
         if (args.command == "lint") return cmd_lint(args);
+        usage();
+        return args.command.empty() ? 0 : 1;
+    } catch (const UsageError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::fprintf(stderr,
+                     "run 'powergear' with no arguments for usage\n");
+        return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    usage();
-    return args.command.empty() ? 0 : 1;
 }
