@@ -1,0 +1,373 @@
+// Perf-regression harness: hand-timed micro-kernel + estimate-batch
+// benchmarks with a machine-readable trajectory.
+//
+//   bench_regression [--reps N] [--out FILE] [--baseline FILE]
+//                    [--tolerance F] [--jobs N] [--filter SUBSTR]
+//
+// Runs each benchmark `reps` times (after one warmup + auto-calibration of
+// an inner iteration count so every timed run covers >= ~20 ms), writes the
+// results as "powergear-bench-v1" JSON — BENCH_<date>.json by default, the
+// schema scripts/bench_gate.py and scripts/update_experiments.py consume —
+// and, when --baseline is given, compares best-of-reps times against the
+// committed baseline: any benchmark slower than (1 + tolerance) x baseline
+// fails the run with exit code 1. Missing benchmarks (renames, deletions)
+// fail too, so the gate cannot rot silently.
+//
+// Timing uses best-of-reps per-iteration wall time: the minimum is the run
+// least disturbed by the machine, which is the stable statistic to gate on
+// (median and the full run list are recorded for inspection). Benchmarks
+// run with a single-threaded pool by default (--jobs to override) so the
+// gate measures code, not the runner's core count.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/powergear.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
+#include "fpga/netlist.hpp"
+#include "fpga/placement.hpp"
+#include "gnn/model.hpp"
+#include "graphgen/features.hpp"
+#include "hls/binding.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+#include "kernels/polybench.hpp"
+#include "obs/json.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/stimulus.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+using namespace powergear;
+
+namespace {
+
+struct BenchResult {
+    std::string name;
+    int iters = 1;                ///< inner iterations per timed run
+    std::vector<double> runs_ms;  ///< per-iteration ms, one entry per rep
+    double throughput_per_s = 0.0; ///< 0 when the benchmark has no item count
+
+    double best_ms() const {
+        return *std::min_element(runs_ms.begin(), runs_ms.end());
+    }
+    double median_ms() const {
+        std::vector<double> s = runs_ms;
+        std::sort(s.begin(), s.end());
+        return s[s.size() / 2];
+    }
+};
+
+/// Time `fn` (one logical operation per call): calibrate an inner iteration
+/// count so a run lasts >= min_run_ms, then produce `reps` per-iteration
+/// timings. `items_per_iter` > 0 additionally derives throughput from the
+/// best run.
+template <typename Fn>
+BenchResult run_bench(const std::string& name, int reps, Fn&& fn,
+                      double items_per_iter = 0.0, double min_run_ms = 20.0) {
+    BenchResult r;
+    r.name = name;
+    fn(); // warmup: faults pages, fills caches, triggers lazy init
+
+    util::Timer cal;
+    fn();
+    const double once_ms = std::max(1e-6, cal.millis());
+    r.iters = static_cast<int>(
+        std::clamp(min_run_ms / once_ms, 1.0, 100000.0));
+
+    for (int rep = 0; rep < reps; ++rep) {
+        util::Timer t;
+        for (int i = 0; i < r.iters; ++i) fn();
+        r.runs_ms.push_back(t.millis() / r.iters);
+    }
+    if (items_per_iter > 0.0)
+        r.throughput_per_s = items_per_iter / (r.best_ms() * 1e-3);
+    std::printf("  %-22s best %10.4f ms  median %10.4f ms  (x%d iters)\n",
+                name.c_str(), r.best_ms(), r.median_ms(), r.iters);
+    return r;
+}
+
+/// The micro-kernel fixture from bench/micro_kernels.cpp, shared setup.
+struct Prepared {
+    ir::Function fn;
+    sim::Trace trace;
+    hls::ElabGraph elab;
+    hls::Schedule sched;
+    hls::Binding binding;
+    graphgen::Graph graph;
+    gnn::GraphTensors tensors;
+
+    Prepared() : fn(kernels::build_polybench("gemm", 16)) {
+        sim::Interpreter interp(fn);
+        sim::apply_stimulus(interp, fn, {});
+        trace = interp.run();
+        const hls::DesignSpace space(fn);
+        elab = hls::elaborate(fn, space.point(40 % space.size()));
+        sched = hls::schedule(fn, elab);
+        binding = hls::bind(fn, elab, sched);
+        const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
+        graph = graphgen::construct_graph(fn, elab, binding, oracle);
+        std::vector<double> metadata(10, 1.0);
+        tensors = gnn::GraphTensors::from(graph, metadata);
+    }
+};
+
+/// Trained-estimator fixture for the estimate_batch benchmark: a tiny but
+/// real ensemble (2 folds) over two kernels, evaluated on a third.
+struct EstimatorFixture {
+    core::PowerGear pg;
+    dataset::Dataset eval;
+
+    EstimatorFixture()
+        : pg([] {
+              core::PowerGear::Options o;
+              o.kind = dataset::PowerKind::Dynamic;
+              o.hidden = 8;
+              o.epochs = 2;
+              o.folds = 2;
+              o.seeds = 1;
+              return o;
+          }()) {
+        dataset::GeneratorOptions gen;
+        gen.samples_per_dataset = 8;
+        gen.problem_size = 8;
+        std::vector<dataset::Dataset> suite;
+        suite.push_back(dataset::generate_dataset("atax", gen));
+        suite.push_back(dataset::generate_dataset("bicg", gen));
+        pg.fit(dataset::pool_except(suite, suite.size()));
+        gen.samples_per_dataset = 24;
+        eval = dataset::generate_dataset("mvt", gen);
+    }
+};
+
+std::string today() {
+    std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&t, &tm);
+    char buf[16];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+    return buf;
+}
+
+obs::JsonValue results_to_json(const std::vector<BenchResult>& results,
+                               int reps) {
+    obs::JsonValue root = obs::JsonValue::object();
+    root.set("schema", obs::JsonValue("powergear-bench-v1"));
+    root.set("date", obs::JsonValue(today()));
+    root.set("reps", obs::JsonValue(static_cast<std::int64_t>(reps)));
+    root.set("jobs",
+             obs::JsonValue(static_cast<std::int64_t>(util::parallel_jobs())));
+    obs::JsonValue benches = obs::JsonValue::object();
+    for (const BenchResult& r : results) {
+        obs::JsonValue b = obs::JsonValue::object();
+        b.set("unit", obs::JsonValue("ms"));
+        b.set("iters", obs::JsonValue(static_cast<std::int64_t>(r.iters)));
+        b.set("best_ms", obs::JsonValue(r.best_ms()));
+        b.set("median_ms", obs::JsonValue(r.median_ms()));
+        obs::JsonValue runs = obs::JsonValue::array();
+        for (double ms : r.runs_ms) runs.push_back(obs::JsonValue(ms));
+        b.set("runs_ms", std::move(runs));
+        if (r.throughput_per_s > 0.0)
+            b.set("throughput_per_s", obs::JsonValue(r.throughput_per_s));
+        benches.set(r.name, std::move(b));
+    }
+    root.set("benchmarks", std::move(benches));
+    return root;
+}
+
+std::string read_file(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) throw std::runtime_error("cannot open " + path);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+/// Gate current results against a committed baseline. Returns the number of
+/// regressions (new benchmarks are reported but tolerated; missing ones are
+/// regressions).
+int compare_to_baseline(const std::vector<BenchResult>& results,
+                        const std::string& baseline_path, double tolerance) {
+    const obs::JsonValue base = obs::JsonValue::parse(read_file(baseline_path));
+    if (base.at("schema").as_string() != "powergear-bench-v1")
+        throw std::runtime_error("baseline: unexpected schema");
+    int regressions = 0;
+    std::printf("\nregression gate vs %s (tolerance %.0f%%):\n",
+                baseline_path.c_str(), tolerance * 100.0);
+    std::printf("  %-22s %12s %12s %8s  %s\n", "benchmark", "baseline_ms",
+                "current_ms", "ratio", "verdict");
+    for (const auto& [name, b] : base.at("benchmarks").as_object()) {
+        const double base_ms = b.at("best_ms").as_number();
+        const auto it =
+            std::find_if(results.begin(), results.end(),
+                         [&](const BenchResult& r) { return r.name == name; });
+        if (it == results.end()) {
+            std::printf("  %-22s %12.4f %12s %8s  MISSING\n", name.c_str(),
+                        base_ms, "-", "-");
+            ++regressions;
+            continue;
+        }
+        const double cur_ms = it->best_ms();
+        const double ratio = cur_ms / base_ms;
+        const bool slow = ratio > 1.0 + tolerance;
+        if (slow) ++regressions;
+        std::printf("  %-22s %12.4f %12.4f %8.3f  %s\n", name.c_str(), base_ms,
+                    cur_ms, ratio, slow ? "REGRESSION" : "ok");
+    }
+    for (const BenchResult& r : results) {
+        if (!base.at("benchmarks").get(r.name))
+            std::printf("  %-22s %12s %12.4f %8s  new (no baseline)\n",
+                        r.name.c_str(), "-", r.best_ms(), "-");
+    }
+    return regressions;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--reps N] [--out FILE] [--baseline FILE]\n"
+        "          [--tolerance F] [--jobs N] [--filter SUBSTR]\n"
+        "exit codes: 0 ok, 1 regression vs baseline, 2 bad usage\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    int reps = 5;
+    int jobs = 1;
+    double tolerance = 0.10;
+    std::string out_path, baseline_path, filter;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (arg == "--reps" && has_next) reps = std::atoi(argv[++i]);
+        else if (arg == "--out" && has_next) out_path = argv[++i];
+        else if (arg == "--baseline" && has_next) baseline_path = argv[++i];
+        else if (arg == "--tolerance" && has_next) tolerance = std::atof(argv[++i]);
+        else if (arg == "--jobs" && has_next) jobs = std::atoi(argv[++i]);
+        else if (arg == "--filter" && has_next) filter = argv[++i];
+        else return usage(argv[0]);
+    }
+    if (reps < 1 || jobs < 1 || tolerance < 0.0) return usage(argv[0]);
+    if (out_path.empty()) out_path = "BENCH_" + today() + ".json";
+    util::set_parallel_jobs(jobs);
+
+    try {
+        std::printf("bench_regression: %d rep%s, jobs=%d\n", reps,
+                    reps == 1 ? "" : "s", jobs);
+        const Prepared p;
+        std::vector<BenchResult> results;
+        const auto want = [&](const char* name) {
+            return filter.empty() || std::string(name).find(filter) !=
+                                         std::string::npos;
+        };
+
+        if (want("ir_simulation")) {
+            sim::Interpreter interp(p.fn);
+            sim::apply_stimulus(interp, p.fn, {});
+            results.push_back(run_bench("ir_simulation", reps, [&] {
+                auto trace = interp.run();
+                if (trace.executed_ops <= 0) std::abort();
+            }));
+        }
+        if (want("schedule_bind"))
+            results.push_back(run_bench("schedule_bind", reps, [&] {
+                auto sched = hls::schedule(p.fn, p.elab);
+                auto binding = hls::bind(p.fn, p.elab, sched);
+                if (binding.num_units() <= 0) std::abort();
+            }));
+        if (want("graph_construction")) {
+            const sim::ActivityOracle oracle(p.fn, p.elab, p.trace,
+                                             p.sched.total_latency);
+            results.push_back(run_bench("graph_construction", reps, [&] {
+                auto g = graphgen::construct_graph(p.fn, p.elab, p.binding,
+                                                   oracle);
+                if (g.num_nodes <= 0) std::abort();
+            }));
+        }
+        if (want("placement")) {
+            const sim::ActivityOracle oracle(p.fn, p.elab, p.trace,
+                                             p.sched.total_latency);
+            const fpga::Netlist nl =
+                fpga::build_netlist(p.fn, p.elab, p.binding, oracle);
+            results.push_back(run_bench("placement", reps, [&] {
+                auto placed = fpga::place(nl);
+                if (placed.total_hpwl < 0) std::abort();
+            }));
+        }
+        if (want("matmul128")) {
+            util::Rng rng(3);
+            const nn::Tensor a = nn::Tensor::xavier(128, 128, rng);
+            const nn::Tensor b = nn::Tensor::xavier(128, 128, rng);
+            results.push_back(run_bench("matmul128", reps, [&] {
+                auto c = nn::matmul(a, b);
+                if (c.rows() != 128) std::abort();
+            }));
+        }
+        if (want("hecgnn_forward")) {
+            gnn::ModelConfig cfg;
+            cfg.node_dim = p.tensors.x.cols();
+            cfg.hidden = 32;
+            gnn::PowerModel model(cfg);
+            volatile float sink = 0.0f;
+            results.push_back(run_bench("hecgnn_forward", reps, [&] {
+                sink = model.predict(p.tensors);
+            }));
+            (void)sink;
+        }
+        if (want("estimate_batch")) {
+            const EstimatorFixture fx;
+            const core::SamplePool pool = dataset::pool_of(fx.eval);
+            results.push_back(run_bench(
+                "estimate_batch", reps,
+                [&] {
+                    auto ests = fx.pg.estimate_batch(pool);
+                    if (ests.size() != pool.size()) std::abort();
+                },
+                static_cast<double>(pool.size())));
+        }
+
+        if (results.empty()) {
+            std::fprintf(stderr, "error: --filter '%s' matched nothing\n",
+                         filter.c_str());
+            return 2;
+        }
+
+        const obs::JsonValue doc = results_to_json(results, reps);
+        std::FILE* f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+            return 2;
+        }
+        const std::string body = doc.dump(2) + "\n";
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("[saved] %s\n", out_path.c_str());
+
+        if (!baseline_path.empty()) {
+            const int regressions =
+                compare_to_baseline(results, baseline_path, tolerance);
+            if (regressions > 0) {
+                std::printf("bench_regression: %d benchmark(s) regressed\n",
+                            regressions);
+                return 1;
+            }
+            std::printf("bench_regression: no regressions\n");
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

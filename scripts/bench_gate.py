@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over powergear-bench-v1 JSON files.
+
+Compares a fresh bench_regression run (or an existing result file) against
+the committed baseline and exits non-zero when any benchmark's best time
+regressed past the tolerance. CI uses --run with --ci-tolerance so noisy
+shared runners gate only on gross regressions while developer machines keep
+the tight default.
+
+Usage:
+  # compare two existing result files (tight 10% default tolerance)
+  scripts/bench_gate.py --baseline bench/baseline.json --new BENCH_2026-08-06.json
+
+  # run the binary first, then compare (CI smoke: 1 rep, wide tolerance)
+  scripts/bench_gate.py --run build/bench/bench_regression --reps 1 \
+      --baseline bench/baseline.json --ci-tolerance 0.60 --out BENCH_ci.json
+
+Exit codes: 0 ok, 1 regression (or missing benchmark), 2 usage/IO error.
+"""
+import argparse
+import json
+import subprocess
+import sys
+
+SCHEMA = "powergear-bench-v1"
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_gate: {path}: expected schema {SCHEMA!r}, "
+                 f"got {doc.get('schema')!r}")
+    return doc
+
+
+def compare(baseline, current, tolerance):
+    """Return (regressions, report_lines): every baseline benchmark must be
+    present and within (1 + tolerance) x its baseline best time."""
+    base_b = baseline["benchmarks"]
+    cur_b = current["benchmarks"]
+    lines = [f"{'benchmark':<22} {'baseline_ms':>12} {'current_ms':>12} "
+             f"{'ratio':>7}  verdict"]
+    regressions = 0
+    for name in sorted(base_b):
+        base_ms = base_b[name]["best_ms"]
+        if name not in cur_b:
+            lines.append(f"{name:<22} {base_ms:>12.4f} {'-':>12} {'-':>7}  "
+                         "MISSING")
+            regressions += 1
+            continue
+        cur_ms = cur_b[name]["best_ms"]
+        ratio = cur_ms / base_ms
+        slow = ratio > 1.0 + tolerance
+        regressions += slow
+        lines.append(f"{name:<22} {base_ms:>12.4f} {cur_ms:>12.4f} "
+                     f"{ratio:>7.3f}  {'REGRESSION' if slow else 'ok'}")
+    for name in sorted(set(cur_b) - set(base_b)):
+        lines.append(f"{name:<22} {'-':>12} {cur_b[name]['best_ms']:>12.4f} "
+                     f"{'-':>7}  new (no baseline)")
+    return regressions, lines
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (bench/baseline.json)")
+    ap.add_argument("--new", dest="new_path",
+                    help="existing result JSON to gate (skip --run)")
+    ap.add_argument("--run", help="bench_regression binary to execute first")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions when using --run (default 3)")
+    ap.add_argument("--out", default="BENCH_gate.json",
+                    help="result path when using --run")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed slowdown fraction (default 0.10 = 10%%)")
+    ap.add_argument("--ci-tolerance", type=float, default=None,
+                    help="override tolerance for noisy CI runners")
+    args = ap.parse_args()
+
+    if bool(args.new_path) == bool(args.run):
+        ap.error("exactly one of --new or --run is required")
+    tolerance = (args.ci_tolerance
+                 if args.ci_tolerance is not None else args.tolerance)
+    if tolerance < 0:
+        ap.error("tolerance must be >= 0")
+
+    if args.run:
+        cmd = [args.run, "--reps", str(args.reps), "--out", args.out]
+        print("bench_gate: $", " ".join(cmd), flush=True)
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            sys.exit(f"bench_gate: {args.run} exited {proc.returncode}")
+        args.new_path = args.out
+
+    baseline = load(args.baseline)
+    current = load(args.new_path)
+    regressions, lines = compare(baseline, current, tolerance)
+
+    print(f"bench_gate: tolerance {tolerance:.0%}, baseline "
+          f"{baseline.get('date', '?')} -> current {current.get('date', '?')}")
+    print("\n".join(lines))
+    if regressions:
+        print(f"bench_gate: FAIL — {regressions} benchmark(s) regressed")
+        return 1
+    print("bench_gate: OK — no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

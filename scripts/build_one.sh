@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Configure + build + (optionally) test ONE flavor of the tree.
+#
+# The single place where build flags live: scripts/check.sh and
+# .github/workflows/ci.yml both call this instead of duplicating cmake
+# invocations.
+#
+#   scripts/build_one.sh <name> [extra -D cmake args...]
+#
+#   name        labels the build dir: build-check-<name> (override: BUILD_DIR)
+#   JOBS        build/test parallelism            (default: nproc)
+#   WERROR      ON|OFF, -Werror toggle            (default: ON)
+#   RUN_TESTS   1 runs ctest after building       (default: 1)
+#   CTEST_ENV   extra "VAR=value" pairs exported around ctest (optional)
+#
+# Examples:
+#   scripts/build_one.sh release -DCMAKE_BUILD_TYPE=Release
+#   scripts/build_one.sh asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_ASAN=ON
+#   RUN_TESTS=0 scripts/build_one.sh bench -DCMAKE_BUILD_TYPE=Release
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: $0 <name> [cmake args...]" >&2
+    exit 2
+fi
+
+name=$1
+shift
+dir=${BUILD_DIR:-build-check-$name}
+JOBS=${JOBS:-$(nproc)}
+WERROR=${WERROR:-ON}
+RUN_TESTS=${RUN_TESTS:-1}
+
+if ! command -v cmake >/dev/null 2>&1; then
+    echo "build_one.sh: error: cmake not found on PATH — install cmake >= 3.16" >&2
+    exit 1
+fi
+
+echo "=== [$name] configure ($dir) ==="
+cmake -B "$dir" -S . -DPOWERGEAR_WERROR="$WERROR" "$@" >/dev/null
+
+echo "=== [$name] build (-j $JOBS) ==="
+cmake --build "$dir" -j "$JOBS"
+
+if [[ "$RUN_TESTS" == 1 ]]; then
+    echo "=== [$name] ctest ==="
+    (cd "$dir" && env ${CTEST_ENV:-} ctest --output-on-failure -j "$JOBS")
+fi

@@ -10,29 +10,47 @@
 # Finishes with a `powergear lint` sweep over every built-in Polybench
 # kernel (must report zero diagnostics).
 #
+# Each flavor is built by scripts/build_one.sh — the same entry point
+# .github/workflows/ci.yml uses, so local and CI builds cannot drift apart.
+#
 #   scripts/check.sh            # all four builds + jobs matrix + lint
 #   JOBS=4 scripts/check.sh     # cap build/test parallelism
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=${JOBS:-$(nproc)}
+export JOBS
 
-run_build() {
-    local name=$1
-    shift
-    local dir=build-check-$name
-    echo "=== [$name] configure ==="
-    cmake -B "$dir" -S . -DPOWERGEAR_WERROR=ON "$@" >/dev/null
-    echo "=== [$name] build ==="
-    cmake --build "$dir" -j "$JOBS"
-    echo "=== [$name] ctest ==="
-    (cd "$dir" && ctest --output-on-failure -j "$JOBS")
-}
+# --- preflight: fail fast with a clear message, not 40 lines of cmake spew --
+if ! command -v cmake >/dev/null 2>&1; then
+    echo "check.sh: error: cmake not found on PATH." >&2
+    echo "  install cmake >= 3.16 (e.g. 'apt-get install cmake')" >&2
+    exit 1
+fi
+if ! command -v c++ >/dev/null 2>&1 && ! command -v g++ >/dev/null 2>&1 &&
+   ! command -v clang++ >/dev/null 2>&1; then
+    echo "check.sh: error: no C++ compiler (c++/g++/clang++) on PATH." >&2
+    exit 1
+fi
+# The sanitizer builds need compiler+runtime support; probe with a 1-line TU
+# so a missing libasan fails here with one readable message.
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT
+echo 'int main(){return 0;}' > "$probe_dir/probe.cpp"
+for flag in address undefined thread; do
+    if ! c++ -fsanitize=$flag "$probe_dir/probe.cpp" -o "$probe_dir/probe" \
+            >/dev/null 2>&1; then
+        echo "check.sh: error: compiler cannot link -fsanitize=$flag." >&2
+        echo "  install the sanitizer runtimes (gcc: libasan/libubsan/libtsan," >&2
+        echo "  clang: compiler-rt) or use a toolchain that ships them" >&2
+        exit 1
+    fi
+done
 
-run_build release -DCMAKE_BUILD_TYPE=Release
-run_build asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_ASAN=ON
-run_build ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_UBSAN=ON
-run_build tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_TSAN=ON
+scripts/build_one.sh release -DCMAKE_BUILD_TYPE=Release
+scripts/build_one.sh asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_ASAN=ON
+scripts/build_one.sh ubsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_UBSAN=ON
+scripts/build_one.sh tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPOWERGEAR_TSAN=ON
 
 # Thread-pool job matrix: the full suite must pass fully serial and with a
 # forced 4-worker pool (the determinism tests additionally assert that both
@@ -46,4 +64,9 @@ done
 echo "=== lint: all Polybench kernels must be diagnostic-free ==="
 ./build-check-release/tools/powergear lint
 
-echo "check.sh: release + asan + ubsan + tsan + jobs matrix + lint all green"
+echo "=== bench gate: no perf regression vs bench/baseline.json ==="
+python3 scripts/bench_gate.py --baseline bench/baseline.json \
+    --run build-check-release/bench/bench_regression --reps 3 \
+    --out BENCH_check.json
+
+echo "check.sh: release + asan + ubsan + tsan + jobs matrix + lint + bench gate all green"

@@ -1,15 +1,33 @@
 #!/usr/bin/env python3
-"""Refresh the 'Recorded results' section of EXPERIMENTS.md from
-bench_output.txt (the tee'd output of running every bench binary).
+"""Maintain the machine-generated sections of EXPERIMENTS.md.
 
-Usage: python3 scripts/update_experiments.py [bench_output.txt]
+Two modes:
+
+  # Refresh "## Recorded results" from a tee'd bench-binary log
+  python3 scripts/update_experiments.py [bench_output.txt]
+
+  # Append one row to the "## Perf trajectory" table from a
+  # powergear-bench-v1 result (bench_regression / bench_gate output)
+  python3 scripts/update_experiments.py --bench BENCH_2026-08-06.json
 """
+import json
 import re
 import sys
 
-BENCH_LOG = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
 DOC = "EXPERIMENTS.md"
 MARK = "## Recorded results"
+PERF_MARK = "## Perf trajectory"
+PERF_HEADER = [
+    PERF_MARK,
+    "",
+    "One row per recorded `bench_regression` run (best-of-reps ms; see",
+    "`bench/baseline.json` for the committed gate baseline).",
+    "",
+    "| date | jobs | estimate_batch ms | estimates/s | matmul128 ms "
+    "| graph_construction ms | ir_simulation ms | placement ms |",
+    "|------|------|-------------------|-------------|--------------"
+    "|-----------------------|------------------|--------------|",
+]
 
 
 def extract_tables(text: str):
@@ -39,12 +57,12 @@ def extract_tables(text: str):
     return tables
 
 
-def main() -> int:
-    with open(BENCH_LOG) as f:
+def update_recorded_results(bench_log: str) -> int:
+    with open(bench_log) as f:
         log = f.read()
     tables = extract_tables(log)
     if not tables:
-        print("no tables found in", BENCH_LOG)
+        print("no tables found in", bench_log)
         return 1
 
     section = [MARK, "",
@@ -65,6 +83,58 @@ def main() -> int:
         f.write(head + "\n".join(section))
     print(f"updated {DOC} with {len(tables)} tables")
     return 0
+
+
+def append_perf_row(bench_json: str) -> int:
+    try:
+        with open(bench_json) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot read {bench_json}: {e}")
+        return 1
+    if doc.get("schema") != "powergear-bench-v1":
+        print(f"{bench_json}: not a powergear-bench-v1 file")
+        return 1
+
+    b = doc["benchmarks"]
+
+    def best(name):
+        return f"{b[name]['best_ms']:.4f}" if name in b else "-"
+
+    est = b.get("estimate_batch", {})
+    throughput = (f"{est['throughput_per_s']:.0f}"
+                  if "throughput_per_s" in est else "-")
+    row = (f"| {doc.get('date', '?')} | {doc.get('jobs', '?')} "
+           f"| {best('estimate_batch')} | {throughput} | {best('matmul128')} "
+           f"| {best('graph_construction')} | {best('ir_simulation')} "
+           f"| {best('placement')} |")
+
+    with open(DOC) as f:
+        text = f.read()
+    if PERF_MARK in text:
+        # Append below the last row of the existing table.
+        head, _, tail = text.partition(PERF_MARK)
+        lines = (PERF_MARK + tail).splitlines()
+        last_row = max(i for i, ln in enumerate(lines)
+                       if ln.startswith("|") or ln.strip() == PERF_MARK)
+        lines.insert(last_row + 1, row)
+        text = head + "\n".join(lines) + ("\n" if not tail.endswith("\n") else "")
+    else:
+        text = text.rstrip() + "\n\n" + "\n".join(PERF_HEADER + [row]) + "\n"
+    with open(DOC, "w") as f:
+        f.write(text)
+    print(f"appended perf row for {doc.get('date', '?')} to {DOC}")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--bench":
+        if len(args) != 2:
+            print(__doc__)
+            return 2
+        return append_perf_row(args[1])
+    return update_recorded_results(args[0] if args else "bench_output.txt")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@
 
 #include "analysis/analysis.hpp"
 #include "gnn/serialize.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
 namespace powergear::core {
@@ -115,6 +116,8 @@ double PowerGear::estimate(const gnn::GraphTensors& tensors) const {
 std::vector<Estimate> PowerGear::estimate_batch(const SamplePool& samples) const {
     if (!fitted_)
         throw std::logic_error("PowerGear::estimate_batch before fit");
+    const obs::Scope obs_scope(obs::Phase::EstimateBatch);
+    obs::add(obs::Phase::EstimateBatch, "estimates", samples.size());
     // predict_stats only reads member weights, so samples fan out freely;
     // slot-per-task assignment keeps the order identical to a serial run.
     return util::parallel_map<Estimate>(samples.size(), [&](std::size_t i) {

@@ -7,6 +7,7 @@
 #include "hls/scheduler.hpp"
 #include "hlpow/features.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/obs.hpp"
 #include "sim/interpreter.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -15,6 +16,7 @@
 namespace powergear::dataset {
 
 Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opts) {
+    const obs::Scope obs_scope(obs::Phase::DatasetGen);
     // A malformed kernel would silently produce garbage labels for every
     // sample below, so the IR gate is unconditional (it is linear and runs
     // once per dataset); lint warnings are tolerated, errors are not.
@@ -100,6 +102,8 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
 
         return smp;
     });
+    obs::add(obs::Phase::DatasetGen, "datasets");
+    obs::add(obs::Phase::DatasetGen, "samples", ds.samples.size());
     return ds;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -13,6 +14,8 @@ DseResult Explorer::run(
     const std::function<double(const dataset::Sample&)>& power,
     dataset::PowerKind kind) const {
     if (!power) throw std::invalid_argument("Explorer::run: null predictor");
+    const obs::Scope obs_scope(obs::Phase::Dse);
+    obs::add(obs::Phase::Dse, "candidates", candidates.size());
     // Candidate scoring is the expensive half (one ensemble inference per
     // design point); fan it out. Truth points are cheap field reads.
     const std::vector<Point> predicted = util::parallel_map<Point>(
@@ -29,7 +32,9 @@ DseResult Explorer::run(
                               static_cast<double>(s.label(kind)),
                               static_cast<int>(i)});
     }
-    return explore(predicted, truth, cfg_);
+    DseResult res = explore(predicted, truth, cfg_);
+    obs::add(obs::Phase::Dse, "designs_sampled", res.sampled.size());
+    return res;
 }
 
 DseResult explore(const std::vector<Point>& predicted,

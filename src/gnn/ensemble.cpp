@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "nn/layers.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -73,6 +74,8 @@ void Ensemble::fit(std::span<const GraphTensors* const> graphs,
                    const EnsembleConfig& cfg) {
     if (graphs.size() != targets.size() || graphs.size() < 2)
         throw std::invalid_argument("Ensemble::fit: need >= 2 samples");
+    const obs::Scope obs_scope(obs::Phase::EnsembleFit);
+    obs::add(obs::Phase::EnsembleFit, "fit_samples", graphs.size());
     members_.clear();
 
     const int n = static_cast<int>(graphs.size());
@@ -112,6 +115,7 @@ void Ensemble::fit(std::span<const GraphTensors* const> graphs,
     }
 
     // Members are independent; train them concurrently, slotted by index.
+    obs::add(obs::Phase::EnsembleFit, "members_trained", specs.size());
     members_ = util::parallel_map<std::unique_ptr<PowerModel>>(
         specs.size(), [&](std::size_t m) {
             return train_member(graphs, targets, specs[m], cfg);

@@ -7,6 +7,7 @@
 #include "graphgen/buffer_insertion.hpp"
 #include "graphgen/datapath_merge.hpp"
 #include "graphgen/trim.hpp"
+#include "obs/obs.hpp"
 
 namespace powergear::graphgen {
 
@@ -148,11 +149,17 @@ Graph construct_graph(const ir::Function& fn, const hls::ElabGraph& elab,
                       const hls::Binding& binding,
                       const sim::ActivityOracle& oracle,
                       const GraphFlowOptions& opts) {
+    const obs::Scope obs_scope(obs::Phase::GraphGen);
     WorkGraph g = build_dfg(fn, elab);
     if (opts.buffer_insertion) insert_buffers(g);
     if (opts.datapath_merging) merge_datapaths(g, binding);
     if (opts.trimming) trim_graph(g);
-    return annotate_features(g, oracle);
+    Graph out = annotate_features(g, oracle);
+    obs::add(obs::Phase::GraphGen, "graphs");
+    obs::add(obs::Phase::GraphGen, "nodes",
+             static_cast<std::uint64_t>(out.num_nodes));
+    obs::add(obs::Phase::GraphGen, "edges", out.edges.size());
+    return out;
 }
 
 } // namespace powergear::graphgen

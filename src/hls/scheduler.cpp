@@ -4,6 +4,7 @@
 #include <map>
 
 #include "hls/oplib.hpp"
+#include "obs/obs.hpp"
 
 namespace powergear::hls {
 
@@ -128,6 +129,9 @@ RegionSched schedule_region(const ir::Function& fn, const ElabGraph& elab,
 } // namespace
 
 Schedule schedule(const ir::Function& fn, const ElabGraph& elab) {
+    const obs::Scope obs_scope(obs::Phase::HlsSchedule);
+    obs::add(obs::Phase::HlsSchedule, "ops_scheduled",
+             static_cast<std::uint64_t>(elab.num_ops()));
     Schedule s;
     const int num_loops = static_cast<int>(fn.loops.size());
     s.loops.assign(static_cast<std::size_t>(num_loops), LoopSchedule{});

@@ -1,0 +1,373 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace powergear::obs {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* want, JsonValue::Kind got) {
+    static const char* names[] = {"null", "bool", "number", "string", "object",
+                                  "array"};
+    throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                             names[static_cast<int>(got)]);
+}
+
+/// Shortest decimal form that round-trips the double: try increasing
+/// precision until strtod gives the value back.
+std::string format_number(double d) {
+    if (!std::isfinite(d))
+        throw std::runtime_error("json: non-finite number not representable");
+    if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+        std::abs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(static_cast<std::int64_t>(d)));
+        return buf;
+    }
+    for (int prec = 6; prec <= 17; ++prec) {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d) return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    return buf;
+}
+
+void escape_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+class Parser {
+public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& why) const {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        std::size_t n = 0;
+        while (lit[n]) ++n;
+        if (text_.compare(pos_, n, lit) != 0) return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parse_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return JsonValue(parse_string());
+        if (c == 't') {
+            if (!consume_literal("true")) fail("bad literal");
+            return JsonValue(true);
+        }
+        if (c == 'f') {
+            if (!consume_literal("false")) fail("bad literal");
+            return JsonValue(false);
+        }
+        if (c == 'n') {
+            if (!consume_literal("null")) fail("bad literal");
+            return JsonValue();
+        }
+        return parse_number();
+    }
+
+    JsonValue parse_object() {
+        expect('{');
+        JsonValue v = JsonValue::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            v.set(key, parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parse_array() {
+        expect('[');
+        JsonValue v = JsonValue::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                    else fail("bad hex digit in \\u escape");
+                }
+                // Encode as UTF-8 (BMP only; our schemas never emit
+                // surrogate pairs — reject rather than mis-decode).
+                if (code >= 0xd800 && code <= 0xdfff)
+                    fail("surrogate pairs unsupported");
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) {
+            pos_ = start;
+            fail("malformed number '" + tok + "'");
+        }
+        return JsonValue(d);
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool JsonValue::as_bool() const {
+    if (kind_ != Kind::Bool) kind_error("bool", kind_);
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    if (kind_ != Kind::Number) kind_error("number", kind_);
+    return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+    if (kind_ != Kind::String) kind_error("string", kind_);
+    return str_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+    if (kind_ != Kind::Object) kind_error("object", kind_);
+    return obj_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+    if (kind_ != Kind::Array) kind_error("array", kind_);
+    return arr_;
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+    if (kind_ != Kind::Object) kind_error("object", kind_);
+    obj_[key] = std::move(v);
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+    if (kind_ != Kind::Object) kind_error("object", kind_);
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const JsonValue* v = get(key);
+    if (!v) throw std::runtime_error("json: missing key '" + key + "'");
+    return *v;
+}
+
+void JsonValue::push_back(JsonValue v) {
+    if (kind_ != Kind::Array) kind_error("array", kind_);
+    arr_.push_back(std::move(v));
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+    const std::string pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                   : std::string();
+    const std::string close_pad =
+        indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                   : std::string();
+    const char* nl = indent > 0 ? "\n" : "";
+    const char* colon = indent > 0 ? ": " : ":";
+    switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += format_number(num_); break;
+    case Kind::String: escape_string(str_, out); break;
+    case Kind::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        bool first = true;
+        for (const auto& [k, v] : obj_) {
+            if (!first) {
+                out += ',';
+                out += nl;
+            }
+            first = false;
+            out += pad;
+            escape_string(k, out);
+            out += colon;
+            v.dump_to(out, indent, depth + 1);
+        }
+        out += nl;
+        out += close_pad;
+        out += '}';
+        break;
+    }
+    case Kind::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        bool first = true;
+        for (const auto& v : arr_) {
+            if (!first) {
+                out += ',';
+                out += nl;
+            }
+            first = false;
+            out += pad;
+            v.dump_to(out, indent, depth + 1);
+        }
+        out += nl;
+        out += close_pad;
+        out += ']';
+        break;
+    }
+    }
+}
+
+std::string JsonValue::dump(int indent) const {
+    std::string out;
+    dump_to(out, indent, 0);
+    return out;
+}
+
+JsonValue JsonValue::parse(const std::string& text) {
+    return Parser(text).parse_document();
+}
+
+} // namespace powergear::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace powergear::sim {
 
 using ir::Opcode;
@@ -40,6 +42,7 @@ const std::vector<std::uint32_t>& Interpreter::array(int array_id) const {
 }
 
 Trace Interpreter::run(bool record) {
+    const obs::Scope obs_scope(obs::Phase::SimTrace);
     Trace trace;
     trace.values.resize(fn_.instrs.size());
 
@@ -167,6 +170,9 @@ Trace Interpreter::run(bool record) {
         }
     };
     exec_body(exec_body, fn_.top);
+    obs::add(obs::Phase::SimTrace, "traces");
+    obs::add(obs::Phase::SimTrace, "executed_ops",
+             static_cast<std::uint64_t>(trace.executed_ops));
     return trace;
 }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# ctest integration test: `powergear estimate --metrics` (and the
+# POWERGEAR_METRICS env fallback) must emit a powergear-obs-v1 JSON report
+# containing every phase the estimate pipeline exercises, with percentile
+# and counter fields. Registered by tools/CMakeLists.txt with the built CLI
+# path as $1.
+set -euo pipefail
+
+CLI=${1:?usage: cli_metrics_test.sh <path-to-powergear-cli>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+echo "--- train a tiny model (also exercises train --metrics)"
+"$CLI" train --kernels atax,bicg --samples 6 --size 8 --epochs 2 --folds 2 \
+    --seeds 1 --hidden 4 --kind dynamic --out model.pgm \
+    --metrics train_metrics.json >/dev/null
+test -s train_metrics.json || { echo "FAIL: train metrics missing"; exit 1; }
+grep -q '"ensemble_fit"' train_metrics.json ||
+    { echo "FAIL: train metrics lack ensemble_fit"; exit 1; }
+
+echo "--- estimate --metrics emits all expected phase keys"
+"$CLI" estimate --model model.pgm --kernel mvt --samples 6 --size 8 \
+    --kind dynamic --metrics metrics.json >/dev/null
+test -s metrics.json || { echo "FAIL: metrics.json missing"; exit 1; }
+
+for key in '"schema": "powergear-obs-v1"' '"dataset_gen"' '"hls_schedule"' \
+           '"sim_trace"' '"graphgen"' '"estimate_batch"' '"p50_ms"' \
+           '"p95_ms"' '"max_ms"' '"counters"' '"rates_per_s"' \
+           '"estimates": 6' '"wall_s"'; do
+    grep -qF "$key" metrics.json ||
+        { echo "FAIL: metrics.json missing $key"; cat metrics.json; exit 1; }
+done
+
+echo "--- POWERGEAR_METRICS env fallback"
+POWERGEAR_METRICS=env_metrics.json "$CLI" gen --kernel atax --samples 4 \
+    --size 8 >/dev/null
+grep -qF '"dataset_gen"' env_metrics.json ||
+    { echo "FAIL: POWERGEAR_METRICS fallback did not write a report"; exit 1; }
+
+echo "--- no --metrics => no report, no noise"
+"$CLI" gen --kernel atax --samples 4 --size 8 >/dev/null
+test ! -e BENCH_metrics.json
+
+echo "cli_metrics_test: ok"

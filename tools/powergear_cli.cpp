@@ -13,6 +13,10 @@
 // (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial). Results
 // are bit-identical for every job count.
 //
+// Every command accepts --metrics FILE (env fallback: POWERGEAR_METRICS)
+// to write an obs JSON report of per-phase latency percentiles, counters
+// and throughput after the run.
+//
 // Dataset generation is deterministic for a given (kernel, samples, size,
 // seed), so models trained in one invocation estimate datasets generated in
 // another.
@@ -31,6 +35,8 @@
 #include "dataset/splits.hpp"
 #include "dse/explorer.hpp"
 #include "kernels/polybench.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
@@ -100,6 +106,36 @@ void apply_jobs(const Args& a) {
     const int jobs = a.get_int("jobs", 0);
     if (jobs < 1) throw UsageError("--jobs must be a positive integer");
     util::set_parallel_jobs(jobs);
+}
+
+/// Metrics destination: --metrics wins, POWERGEAR_METRICS is the fallback.
+/// Empty = observability stays off (the probes cost one atomic load each).
+std::string metrics_path(const Args& a) {
+    if (a.has("metrics")) {
+        const std::string path = a.get("metrics");
+        if (path.empty()) throw UsageError("--metrics needs a file path");
+        return path;
+    }
+    return util::env_string("POWERGEAR_METRICS", "");
+}
+
+/// Turn recording on before the command runs (clearing anything a previous
+/// in-process run left behind).
+void metrics_begin(const std::string& path) {
+    if (path.empty()) return;
+    obs::set_enabled(true);
+    obs::reset();
+}
+
+/// Snapshot and persist the report after the command body finished.
+void metrics_end(const std::string& path) {
+    if (path.empty()) return;
+    const obs::Report rep = obs::snapshot();
+    if (rep.write(path))
+        std::fprintf(stderr, "metrics: wrote %s (%zu phase%s)\n", path.c_str(),
+                     rep.phases.size(), rep.phases.size() == 1 ? "" : "s");
+    else
+        std::fprintf(stderr, "metrics: error: cannot write %s\n", path.c_str());
 }
 
 std::vector<std::string> split_list(const std::string& csv) {
@@ -303,7 +339,11 @@ void usage() {
         "\n"
         "gen/train/estimate/dse also take --jobs N (parallel runtime width;\n"
         "default POWERGEAR_JOBS or hardware concurrency, 1 = serial —\n"
-        "results are bit-identical either way).\n");
+        "results are bit-identical either way).\n"
+        "\n"
+        "every command takes --metrics FILE (or POWERGEAR_METRICS=FILE) to\n"
+        "dump a per-phase latency/throughput JSON report (powergear-obs-v1\n"
+        "schema: p50/p95/max ms, counters, rates) after the run.\n");
 }
 
 } // namespace
@@ -314,13 +354,24 @@ int main(int argc, char** argv) {
         if (args.command == "gen" || args.command == "train" ||
             args.command == "estimate" || args.command == "dse")
             apply_jobs(args);
-        if (args.command == "gen") return cmd_gen(args);
-        if (args.command == "train") return cmd_train(args);
-        if (args.command == "estimate") return cmd_estimate(args);
-        if (args.command == "dse") return cmd_dse(args);
-        if (args.command == "lint") return cmd_lint(args);
-        usage();
-        return args.command.empty() ? 0 : 1;
+        const bool known =
+            args.command == "gen" || args.command == "train" ||
+            args.command == "estimate" || args.command == "dse" ||
+            args.command == "lint";
+        if (!known) {
+            usage();
+            return args.command.empty() ? 0 : 1;
+        }
+        const std::string metrics = metrics_path(args);
+        metrics_begin(metrics);
+        int rc = 0;
+        if (args.command == "gen") rc = cmd_gen(args);
+        else if (args.command == "train") rc = cmd_train(args);
+        else if (args.command == "estimate") rc = cmd_estimate(args);
+        else if (args.command == "dse") rc = cmd_dse(args);
+        else rc = cmd_lint(args);
+        metrics_end(metrics);
+        return rc;
     } catch (const UsageError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         std::fprintf(stderr,
