@@ -18,11 +18,14 @@
 // (median and the full run list are recorded for inspection). Benchmarks
 // run with a single-threaded pool by default (--jobs to override) so the
 // gate measures code, not the runner's core count.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -325,6 +328,30 @@ int main(int argc, char** argv) {
                 sink = model.predict(p.tensors);
             }));
             (void)sink;
+        }
+        if (want("gen_warm_cache")) {
+            // Warm-cache dataset regeneration: one cold run fills a private
+            // pipeline cache, then every timed run replays the same dataset
+            // from stored artifacts (sim trace peek + per-sample loads).
+            namespace fs = std::filesystem;
+            const fs::path cache_root =
+                fs::temp_directory_path() /
+                ("powergear_bench_cache_" + std::to_string(::getpid()));
+            fs::remove_all(cache_root);
+            dataset::GeneratorOptions gen;
+            gen.samples_per_dataset = 8;
+            gen.problem_size = 8;
+            gen.cache_dir = cache_root.string();
+            const dataset::Dataset cold = dataset::generate_dataset("gemm", gen);
+            results.push_back(run_bench(
+                "gen_warm_cache", reps,
+                [&] {
+                    auto warm = dataset::generate_dataset("gemm", gen);
+                    if (warm.samples.size() != cold.samples.size())
+                        std::abort();
+                },
+                static_cast<double>(cold.samples.size())));
+            fs::remove_all(cache_root);
         }
         if (want("estimate_batch")) {
             const EstimatorFixture fx;

@@ -24,9 +24,11 @@ PERF_HEADER = [
     "`bench/baseline.json` for the committed gate baseline).",
     "",
     "| date | jobs | estimate_batch ms | estimates/s | matmul128 ms "
-    "| graph_construction ms | ir_simulation ms | placement ms |",
+    "| graph_construction ms | ir_simulation ms | placement ms "
+    "| gen_warm_cache ms |",
     "|------|------|-------------------|-------------|--------------"
-    "|-----------------------|------------------|--------------|",
+    "|-----------------------|------------------|--------------"
+    "|-------------------|",
 ]
 
 
@@ -107,7 +109,7 @@ def append_perf_row(bench_json: str) -> int:
     row = (f"| {doc.get('date', '?')} | {doc.get('jobs', '?')} "
            f"| {best('estimate_batch')} | {throughput} | {best('matmul128')} "
            f"| {best('graph_construction')} | {best('ir_simulation')} "
-           f"| {best('placement')} |")
+           f"| {best('placement')} | {best('gen_warm_cache')} |")
 
     with open(DOC) as f:
         text = f.read()

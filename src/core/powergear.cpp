@@ -4,6 +4,7 @@
 
 #include "analysis/analysis.hpp"
 #include "gnn/serialize.hpp"
+#include "io/serial.hpp"
 #include "obs/obs.hpp"
 #include "util/parallel.hpp"
 
@@ -100,8 +101,48 @@ void PowerGear::fit(const SamplePool& train) {
     fitted_ = true;
 }
 
-void PowerGear::fit(const std::vector<const dataset::Sample*>& train) {
-    fit(SamplePool(train));
+bool PowerGear::fit_cached(const SamplePool& train, const io::Cache& cache) {
+    if (!cache.enabled()) {
+        fit(train);
+        return false;
+    }
+    const std::uint64_t key =
+        io::Hasher()
+            .feed(std::string(io::kArtifactFormatName))
+            .feed(std::string(io::kStageModel))
+            .feed(std::uint64_t{io::kModelPayloadVersion})
+            .feed(static_cast<int>(opts_.kind))
+            .feed(static_cast<int>(opts_.conv))
+            .feed(opts_.hidden)
+            .feed(opts_.layers)
+            .feed(static_cast<double>(opts_.dropout))
+            .feed(opts_.learning_rate)
+            .feed(opts_.epochs)
+            .feed(opts_.batch_size)
+            .feed(opts_.folds)
+            .feed(opts_.seeds)
+            .feed(opts_.edge_features)
+            .feed(opts_.directed)
+            .feed(opts_.heterogeneous)
+            .feed(opts_.metadata)
+            .feed(opts_.jumping_knowledge)
+            .feed(opts_.seed)
+            .feed(io::hash_samples(train.view()))
+            .value();
+    if (std::optional<std::vector<std::uint8_t>> payload =
+            cache.load(io::kStageModel, key, io::kModelPayloadVersion)) {
+        try {
+            ensemble_ = io::decode_ensemble(*payload);
+            fitted_ = ensemble_.num_members() > 0;
+            if (fitted_) return true;
+        } catch (const std::runtime_error&) {
+            obs::add(obs::Phase::Cache, "corrupt");
+        }
+    }
+    fit(train);
+    cache.store(io::kStageModel, key, io::kModelPayloadVersion,
+                io::encode_ensemble(ensemble_));
+    return false;
 }
 
 double PowerGear::estimate(const dataset::Sample& sample) const {
@@ -143,11 +184,6 @@ double PowerGear::evaluate_mape(const SamplePool& test) const {
     dataset::collect(test, opts_.kind, graphs, labels);
     return ensemble_.evaluate_mape(std::span<const gnn::GraphTensors* const>(graphs),
                                    std::span<const float>(labels));
-}
-
-double PowerGear::evaluate_mape(
-    const std::vector<const dataset::Sample*>& test) const {
-    return evaluate_mape(SamplePool(test));
 }
 
 } // namespace powergear::core

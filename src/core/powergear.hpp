@@ -21,6 +21,7 @@
 #include "core/sample_pool.hpp"
 #include "dataset/sample.hpp"
 #include "gnn/ensemble.hpp"
+#include "io/cache.hpp"
 #include "util/env.hpp"
 
 namespace powergear::core {
@@ -69,9 +70,11 @@ public:
     /// first; (fold x seed) members train concurrently.
     void fit(const SamplePool& train);
 
-    /// Deprecated pointer-vector form (one release).
-    [[deprecated("use fit(core::SamplePool)")]]
-    void fit(const std::vector<const dataset::Sample*>& train);
+    /// fit() through the pipeline cache: the "model" stage key hashes every
+    /// training option plus the exact sample contents, so a hit restores the
+    /// trained ensemble bit-exactly and a changed option or sample re-trains.
+    /// Returns true on a cache hit. With a disabled cache this is plain fit().
+    bool fit_cached(const SamplePool& train, const io::Cache& cache);
 
     /// Power estimate (watts) for one sample's graph + metadata.
     double estimate(const dataset::Sample& sample) const;
@@ -84,12 +87,11 @@ public:
     /// MAPE (%) against board measurements on a test pool.
     double evaluate_mape(const SamplePool& test) const;
 
-    [[deprecated("use evaluate_mape(core::SamplePool)")]]
-    double evaluate_mape(const std::vector<const dataset::Sample*>& test) const;
-
-    /// Persist the trained ensemble to a file (text format, bit-exact).
+    /// Persist the trained ensemble to a file as a powergear-art-v1 "model"
+    /// artifact (bit-exact round trip).
     void save(const std::string& path) const;
-    /// Load a previously saved ensemble; the estimator becomes ready to use.
+    /// Load a previously saved ensemble (artifact or legacy text format);
+    /// the estimator becomes ready to use.
     void load(const std::string& path);
 
     const Options& options() const { return opts_; }

@@ -1,9 +1,21 @@
-// Dataset generation: sweep a kernel's directive space, push each design
-// point through the full flow (elaborate -> schedule -> bind -> simulate ->
-// graph construction -> board measurement -> Vivado-like estimation) and
-// package samples. The IR-level simulation trace is shared across design
-// points of one kernel (the stimulus does not depend on directives), so a
-// dataset costs one simulation plus per-point analysis.
+// Dataset generation as an explicit staged pipeline:
+//
+//   hls (elaborate/schedule/bind/report) -> sim (value trace) ->
+//   graphgen (power graph) -> sample (board label + features)
+//
+// Each design point runs the per-point stages (hls, graphgen, board
+// measurement, Vivado-like baseline) and is packaged as one dataset::Sample;
+// the IR-level simulation trace is shared across design points of one
+// kernel (the stimulus does not depend on directives), so a cold dataset
+// costs one simulation plus per-point analysis.
+//
+// When `cache_dir` is set, the sim trace and every finished sample are
+// persisted as powergear-art-v1 artifacts through the content-addressed
+// io::Cache: re-runs and DSE sweeps that revisit a configuration load the
+// stored artifact instead of re-placing and re-simulating. Cache keys chain
+// (kernel IR hash, stage options, format versions, upstream artifact hash,
+// directives, design index), so any input change misses cleanly. Warm and
+// cold runs produce bit-identical datasets at every POWERGEAR_JOBS value.
 #pragma once
 
 #include <string>
@@ -24,6 +36,10 @@ struct GeneratorOptions {
     fpga::BoardOptions board;
     fpga::VivadoOptions vivado;
     bool run_vivado = true; ///< skip the baseline flow (faster unit tests)
+    /// Pipeline-cache root; empty disables caching. The CLI resolves
+    /// --cache-dir / POWERGEAR_CACHE into this; library callers set it
+    /// explicitly so the library itself never reads the environment.
+    std::string cache_dir;
 };
 
 /// Generate one dataset for a named Polybench kernel.

@@ -32,13 +32,4 @@ core::SamplePool pool_of(const Dataset& ds) {
     return core::SamplePool::adopt(collect_of(ds));
 }
 
-std::vector<const Sample*> pool_except_ptrs(const std::vector<Dataset>& suite,
-                                            std::size_t held_out) {
-    return collect_except(suite, held_out);
-}
-
-std::vector<const Sample*> pool_of_ptrs(const Dataset& ds) {
-    return collect_of(ds);
-}
-
 } // namespace powergear::dataset

@@ -3,8 +3,7 @@
 // and models train on the other eight (transferability to unseen kernels).
 //
 // Both helpers return core::SamplePool views backed by their own shared
-// pointer index — the batch-first currency of the estimator API. The
-// previous std::vector<const Sample*> forms survive as deprecated shims.
+// pointer index — the batch-first currency of the estimator API.
 #pragma once
 
 #include <vector>
@@ -20,13 +19,5 @@ core::SamplePool pool_except(const std::vector<Dataset>& suite,
 
 /// Pool over the samples of one dataset.
 core::SamplePool pool_of(const Dataset& ds);
-
-/// Deprecated pointer-vector forms (one release): prefer the SamplePool
-/// returns above, which share an index instead of copying one per call.
-[[deprecated("use pool_except (returns core::SamplePool)")]]
-std::vector<const Sample*> pool_except_ptrs(const std::vector<Dataset>& suite,
-                                            std::size_t held_out);
-[[deprecated("use pool_of (returns core::SamplePool)")]]
-std::vector<const Sample*> pool_of_ptrs(const Dataset& ds);
 
 } // namespace powergear::dataset

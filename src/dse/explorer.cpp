@@ -37,6 +37,30 @@ DseResult Explorer::run(
     return res;
 }
 
+DseResult Explorer::run(const core::SamplePool& candidates,
+                        const core::PowerGear& estimator,
+                        dataset::PowerKind kind) const {
+    const obs::Scope obs_scope(obs::Phase::Dse);
+    obs::add(obs::Phase::Dse, "candidates", candidates.size());
+    const std::vector<core::Estimate> ests =
+        estimator.estimate_batch(candidates);
+    std::vector<Point> predicted;
+    std::vector<Point> truth;
+    predicted.reserve(candidates.size());
+    truth.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const dataset::Sample& s = candidates[i];
+        predicted.push_back(Point{static_cast<double>(s.latency_cycles),
+                                  ests[i].watts, static_cast<int>(i)});
+        truth.push_back(Point{static_cast<double>(s.latency_cycles),
+                              static_cast<double>(s.label(kind)),
+                              static_cast<int>(i)});
+    }
+    DseResult res = explore(predicted, truth, cfg_);
+    obs::add(obs::Phase::Dse, "designs_sampled", res.sampled.size());
+    return res;
+}
+
 DseResult explore(const std::vector<Point>& predicted,
                   const std::vector<Point>& truth, const ExplorerConfig& cfg) {
     if (predicted.size() != truth.size() || predicted.empty())

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/powergear.hpp"
 #include "core/sample_pool.hpp"
 #include "dse/adrs.hpp"
 
@@ -53,6 +54,14 @@ public:
     /// run the refinement loop. Results are bit-identical at any job count.
     DseResult run(const core::SamplePool& candidates,
                   const std::function<double(const dataset::Sample&)>& power,
+                  dataset::PowerKind kind = dataset::PowerKind::Dynamic) const;
+
+    /// Batch-first form: score every candidate with one
+    /// PowerGear::estimate_batch call (the staged pipeline's inference
+    /// stage) instead of a point-wise callback. Same result, one obs-visible
+    /// estimate_batch fan-out.
+    DseResult run(const core::SamplePool& candidates,
+                  const core::PowerGear& estimator,
                   dataset::PowerKind kind = dataset::PowerKind::Dynamic) const;
 
     /// Precomputed-points form, for predictors scored elsewhere.

@@ -122,13 +122,6 @@ void Ensemble::fit(std::span<const GraphTensors* const> graphs,
         });
 }
 
-void Ensemble::fit(const std::vector<const GraphTensors*>& graphs,
-                   const std::vector<float>& targets,
-                   const EnsembleConfig& cfg) {
-    fit(std::span<const GraphTensors* const>(graphs),
-        std::span<const float>(targets), cfg);
-}
-
 std::vector<PowerModel*> Ensemble::members() const {
     std::vector<PowerModel*> out;
     out.reserve(members_.size());
@@ -178,12 +171,6 @@ double Ensemble::evaluate_mape(std::span<const GraphTensors* const> graphs,
         s += std::abs(preds[i] - targets[i]) /
              std::max(1e-9f, std::abs(targets[i]));
     return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());
-}
-
-double Ensemble::evaluate_mape(const std::vector<const GraphTensors*>& graphs,
-                               const std::vector<float>& targets) const {
-    return evaluate_mape(std::span<const GraphTensors* const>(graphs),
-                         std::span<const float>(targets));
 }
 
 } // namespace powergear::gnn

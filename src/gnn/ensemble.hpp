@@ -42,11 +42,6 @@ public:
     void fit(std::span<const GraphTensors* const> graphs,
              std::span<const float> targets, const EnsembleConfig& cfg);
 
-    /// Deprecated vector form (one release); forwards to the span overload.
-    [[deprecated("use the std::span overload")]]
-    void fit(const std::vector<const GraphTensors*>& graphs,
-             const std::vector<float>& targets, const EnsembleConfig& cfg);
-
     /// Average member predictions.
     float predict(const GraphTensors& g) const;
 
@@ -57,10 +52,6 @@ public:
     /// parallel pool, the reduction order stays fixed (bit-identical).
     double evaluate_mape(std::span<const GraphTensors* const> graphs,
                          std::span<const float> targets) const;
-
-    [[deprecated("use the std::span overload")]]
-    double evaluate_mape(const std::vector<const GraphTensors*>& graphs,
-                         const std::vector<float>& targets) const;
 
     int num_members() const { return static_cast<int>(members_.size()); }
 

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/serial.hpp"
+
 namespace powergear::gnn {
 
 namespace {
@@ -122,16 +124,25 @@ Ensemble load_ensemble(std::istream& is) {
 }
 
 void save_ensemble_file(const std::string& path, const Ensemble& ensemble) {
-    std::ofstream f(path);
-    if (!f) throw std::runtime_error("cannot open for writing: " + path);
-    save_ensemble(f, ensemble);
-    if (!f) throw std::runtime_error("write failed: " + path);
+    // Files go through the powergear-art-v1 container (stage "model"): the
+    // checksummed frame catches truncation/corruption that the stream text
+    // format silently tolerates, and the payload hash doubles as the cache
+    // identity for `powergear train`.
+    io::save_ensemble_file(path, ensemble);
 }
 
 Ensemble load_ensemble_file(const std::string& path) {
-    std::ifstream f(path);
+    std::ifstream f(path, std::ios::binary);
     if (!f) throw std::runtime_error("cannot open for reading: " + path);
-    return load_ensemble(f);
+    char head[8] = {};
+    f.read(head, sizeof head);
+    f.close();
+    if (io::is_artifact_magic(head, static_cast<std::size_t>(sizeof head)))
+        return io::load_ensemble_file(path);
+    // Legacy pre-artifact text file ("powergear-ensemble 1 N" header).
+    std::ifstream t(path);
+    if (!t) throw std::runtime_error("cannot open for reading: " + path);
+    return load_ensemble(t);
 }
 
 } // namespace powergear::gnn

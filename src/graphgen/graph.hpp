@@ -34,6 +34,8 @@ struct Graph {
         int dst = -1;
         int relation = 0;
         std::array<float, kEdgeDim> feat{};
+
+        friend bool operator==(const Edge&, const Edge&) = default;
     };
 
     int num_nodes = 0;
@@ -58,6 +60,9 @@ struct Graph {
     /// In/out degree of a node.
     int in_degree(int node) const;
     int out_degree(int node) const;
+
+    /// Bit-exact structural equality (artifact round-trip tests).
+    friend bool operator==(const Graph&, const Graph&) = default;
 };
 
 /// Node feature layout: [class one-hot | opcode one-hot | AR, SA_in, SA_out,

@@ -1,0 +1,14 @@
+#include "hls/flow.hpp"
+
+namespace powergear::hls {
+
+Design synthesize(const ir::Function& fn, const Directives& dirs) {
+    Design d;
+    d.elab = elaborate(fn, dirs);
+    d.sched = schedule(fn, d.elab);
+    d.binding = bind(fn, d.elab, d.sched);
+    d.report = make_report(fn, d.elab, d.sched, d.binding);
+    return d;
+}
+
+} // namespace powergear::hls

@@ -1,0 +1,28 @@
+// The hls pipeline stage as one entry point.
+//
+// Elaborate -> schedule -> bind -> report is the fixed front half of every
+// flow in this repo (dataset generation, benchmarks, examples, DSE). Design
+// bundles the four artifacts of one design point; synthesize() runs them in
+// order. The pieces stay individually callable for tests and tools that
+// need only a prefix.
+#pragma once
+
+#include "hls/binding.hpp"
+#include "hls/elaborate.hpp"
+#include "hls/report.hpp"
+#include "hls/scheduler.hpp"
+
+namespace powergear::hls {
+
+/// Every hls-stage artifact of one (kernel, directives) design point.
+struct Design {
+    ElabGraph elab;
+    Schedule sched;
+    Binding binding;
+    HlsReport report;
+};
+
+/// Run the full hls stage on one design point.
+Design synthesize(const ir::Function& fn, const Directives& dirs);
+
+} // namespace powergear::hls

@@ -1,0 +1,96 @@
+// Per-stage artifact codecs over the powergear-art-v1 container.
+//
+// One encode/decode pair per pipeline stage, matching the stage graph
+// hls -> sim -> graphgen -> sample -> model (DESIGN.md §9):
+//
+//   stage tag   payload                                  upstream
+//   "hls"       hls::Schedule + hls::HlsReport           kernel IR
+//   "sim"       sim::Trace                               kernel IR
+//   "graph"     graphgen::Graph                          hls + sim
+//   "sample"    dataset::Sample (graph, features, labels) graph + board
+//   "model"     gnn::Ensemble (configs + weights)        samples
+//
+// encode_* produce raw little-endian payload bytes (hash those for content
+// addressing); save_*_file frame them and write atomically; load_*_file
+// validate the frame and decode. Decoders are strict: truncated payloads,
+// trailing bytes, out-of-range indices and non-finite graph features all
+// throw std::runtime_error with a message naming the defect. Round trips
+// are bit-exact, including the float/double fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/sample.hpp"
+#include "gnn/ensemble.hpp"
+#include "hls/report.hpp"
+#include "io/artifact.hpp"
+#include "sim/interpreter.hpp"
+
+namespace powergear::io {
+
+// Stage tags (the 8-byte header field) and payload schema versions.
+constexpr char kStageHls[] = "hls";
+constexpr char kStageSim[] = "sim";
+constexpr char kStageGraph[] = "graph";
+constexpr char kStageSample[] = "sample";
+constexpr char kStageModel[] = "model";
+
+constexpr std::uint32_t kHlsPayloadVersion = 1;
+constexpr std::uint32_t kSimPayloadVersion = 1;
+constexpr std::uint32_t kGraphPayloadVersion = 1;
+constexpr std::uint32_t kSamplePayloadVersion = 1;
+constexpr std::uint32_t kModelPayloadVersion = 1;
+
+// --- hls stage: schedule + report -------------------------------------------
+std::vector<std::uint8_t> encode_hls(const hls::Schedule& sched,
+                                     const hls::HlsReport& report);
+void decode_hls(const std::vector<std::uint8_t>& payload, hls::Schedule& sched,
+                hls::HlsReport& report);
+
+// --- sim stage: value trace --------------------------------------------------
+std::vector<std::uint8_t> encode_trace(const sim::Trace& trace);
+sim::Trace decode_trace(const std::vector<std::uint8_t>& payload);
+
+// --- graphgen stage: power graph --------------------------------------------
+std::vector<std::uint8_t> encode_graph(const graphgen::Graph& g);
+/// Rejects graphs that fail graphgen::Graph::valid (bad endpoints,
+/// non-finite features), so NaN/inf can never enter via a crafted file.
+graphgen::Graph decode_graph(const std::vector<std::uint8_t>& payload);
+
+// --- sample stage: one design point -----------------------------------------
+std::vector<std::uint8_t> encode_sample(const dataset::Sample& s);
+/// Restores every stored field bit-exactly and rebuilds the NN tensor view
+/// deterministically with gnn::GraphTensors::from (identical to the tensors
+/// a cold run computes).
+dataset::Sample decode_sample(const std::vector<std::uint8_t>& payload);
+
+// --- model stage: trained ensemble ------------------------------------------
+std::vector<std::uint8_t> encode_ensemble(const gnn::Ensemble& ensemble);
+gnn::Ensemble decode_ensemble(const std::vector<std::uint8_t>& payload);
+
+// --- framed file conveniences ------------------------------------------------
+void save_hls_file(const std::string& path, const hls::Schedule& sched,
+                   const hls::HlsReport& report);
+void load_hls_file(const std::string& path, hls::Schedule& sched,
+                   hls::HlsReport& report);
+void save_trace_file(const std::string& path, const sim::Trace& trace);
+sim::Trace load_trace_file(const std::string& path);
+void save_graph_file(const std::string& path, const graphgen::Graph& g);
+graphgen::Graph load_graph_file(const std::string& path);
+void save_sample_file(const std::string& path, const dataset::Sample& s);
+dataset::Sample load_sample_file(const std::string& path);
+void save_ensemble_file(const std::string& path, const gnn::Ensemble& e);
+gnn::Ensemble load_ensemble_file(const std::string& path);
+
+// --- content hashing ---------------------------------------------------------
+/// FNV-1a over the kernel's printed IR: the upstream identity every stage
+/// key chains from (two structurally identical kernels share it).
+std::uint64_t hash_ir(const ir::Function& fn);
+
+/// Content hash of a pool of samples (chained per-sample payload hashes, in
+/// pool order). Keys the model stage on its exact training inputs.
+std::uint64_t hash_samples(std::span<const dataset::Sample* const> samples);
+
+} // namespace powergear::io

@@ -26,6 +26,7 @@ const char* phase_name(Phase p) {
     case Phase::EnsembleFit: return "ensemble_fit";
     case Phase::EstimateBatch: return "estimate_batch";
     case Phase::Dse: return "dse";
+    case Phase::Cache: return "cache";
     case Phase::kCount: break;
     }
     return "unknown";

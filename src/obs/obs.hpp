@@ -39,6 +39,7 @@ enum class Phase : int {
     EnsembleFit,     ///< gnn::Ensemble::fit — (fold x seed) member training
     EstimateBatch,   ///< core::PowerGear::estimate_batch — inference
     Dse,             ///< dse::Explorer::run — design-space exploration
+    Cache,           ///< io::Cache — pipeline-cache hits/misses/stores
     kCount
 };
 

@@ -34,4 +34,10 @@ void apply_stimulus(Interpreter& interp, const ir::Function& fn,
     }
 }
 
+Trace simulate(const ir::Function& fn, const StimulusProfile& profile) {
+    Interpreter interp(fn);
+    apply_stimulus(interp, fn, profile);
+    return interp.run();
+}
+
 } // namespace powergear::sim

@@ -26,4 +26,10 @@ struct StimulusProfile {
 void apply_stimulus(Interpreter& interp, const ir::Function& fn,
                     const StimulusProfile& profile);
 
+/// The sim pipeline stage as one entry point: interpret `fn` under
+/// profile-shaped stimuli and return the recorded value trace. Deterministic
+/// in (fn, profile), so the trace is a cacheable artifact (io::Cache stage
+/// "sim").
+Trace simulate(const ir::Function& fn, const StimulusProfile& profile);
+
 } // namespace powergear::sim

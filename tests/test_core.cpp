@@ -184,18 +184,17 @@ TEST(PowerGearApi, EstimateBatchBeforeFitThrows) {
                  std::logic_error);
 }
 
-TEST(PowerGearApi, DeprecatedVectorOverloadsStillWork) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(PowerGearApi, PointerVectorsConvertToPools) {
+    // A caller-owned pointer array keeps working through SamplePool's
+    // implicit borrowing constructor (the PR-2 vector overloads are gone).
     PowerGear pg(quick_opts(dataset::PowerKind::Total));
     std::vector<const dataset::Sample*> train;
     for (std::size_t d = 0; d < 2; ++d)
         for (const auto& s : suite()[d].samples) train.push_back(&s);
-    pg.fit(train); // forwards to fit(SamplePool)
+    pg.fit(train);
     std::vector<const dataset::Sample*> test;
     for (const auto& s : suite()[2].samples) test.push_back(&s);
     EXPECT_TRUE(std::isfinite(pg.evaluate_mape(test)));
-#pragma GCC diagnostic pop
 }
 
 TEST(PowerGearApi, AblationOptionsPropagate) {

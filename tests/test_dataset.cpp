@@ -144,21 +144,15 @@ TEST(Splits, SamplePoolOutlivesItsBuilderAndSharesIndex) {
     EXPECT_EQ(&view[0], &ds.samples[0]);
 }
 
-TEST(Splits, DeprecatedPtrsFormsMatchPools) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Splits, PoolExceptHoldsOutExactlyOneDataset) {
     std::vector<Dataset> suite;
     for (const char* k : {"atax", "gemm"})
         suite.push_back(dataset::generate_dataset(k, quick_opts(3)));
-    const std::vector<const Sample*> old_pool =
-        dataset::pool_except_ptrs(suite, 0);
     const core::SamplePool pool = dataset::pool_except(suite, 0);
-    ASSERT_EQ(old_pool.size(), pool.size());
+    ASSERT_EQ(pool.size(), suite[1].samples.size());
     for (std::size_t i = 0; i < pool.size(); ++i)
-        EXPECT_EQ(old_pool[i], &pool[i]);
-    const std::vector<const Sample*> old_of = dataset::pool_of_ptrs(suite[1]);
-    EXPECT_EQ(old_of.size(), dataset::pool_of(suite[1]).size());
-#pragma GCC diagnostic pop
+        EXPECT_EQ(&pool[i], &suite[1].samples[i]); // borrowed, in order
+    EXPECT_EQ(dataset::pool_of(suite[1]).size(), suite[1].samples.size());
 }
 
 TEST(Generator, StimulusProfileAffectsActivityLabels) {

@@ -6,6 +6,9 @@
 #include <cmath>
 #include <set>
 
+#include "core/powergear.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
 #include "dse/adrs.hpp"
 #include "dse/explorer.hpp"
 #include "dse/pareto.hpp"
@@ -148,4 +151,37 @@ TEST(Explorer, RejectsBadInput) {
     auto fewer = pts;
     fewer.pop_back();
     EXPECT_THROW(explore(pts, fewer, {}), std::invalid_argument);
+}
+
+TEST(Explorer, BatchEstimatorFormMatchesCallbackForm) {
+    // The estimate_batch-backed overload must sample exactly the same
+    // designs as the point-wise callback bound to the same estimator.
+    namespace ds = powergear::dataset;
+    namespace core = powergear::core;
+    ds::GeneratorOptions gopts;
+    gopts.samples_per_dataset = 8;
+    gopts.problem_size = 6;
+    std::vector<ds::Dataset> suite;
+    suite.push_back(ds::generate_dataset("atax", gopts));
+    suite.push_back(ds::generate_dataset("gemm", gopts));
+
+    core::PowerGear::Options o;
+    o.kind = ds::PowerKind::Dynamic;
+    o.epochs = 2;
+    o.folds = 2;
+    o.hidden = 4;
+    o.layers = 1;
+    core::PowerGear pg(o);
+    pg.fit(ds::pool_except(suite, 1));
+
+    ExplorerConfig cfg;
+    cfg.total_budget = 0.5;
+    const Explorer explorer(cfg);
+    const core::SamplePool pool = ds::pool_of(suite[1]);
+    const DseResult via_batch = explorer.run(pool, pg, ds::PowerKind::Dynamic);
+    const DseResult via_callback = explorer.run(
+        pool, [&pg](const ds::Sample& s) { return pg.estimate(s); },
+        ds::PowerKind::Dynamic);
+    EXPECT_EQ(via_batch.sampled, via_callback.sampled);
+    EXPECT_DOUBLE_EQ(via_batch.adrs_value, via_callback.adrs_value);
 }

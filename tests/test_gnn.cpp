@@ -208,9 +208,9 @@ TEST(Ensemble, AveragesMembersAndEvaluates) {
     EXPECT_GE(st.spread, 0.0f);
 }
 
-TEST(Ensemble, DeprecatedVectorOverloadsStillWork) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Ensemble, VectorsConvertToSpans) {
+    // Pointer vectors flow into the span-based fit/evaluate_mape through
+    // std::span's range constructor (the PR-2 vector overloads are gone).
     std::vector<GraphTensors> storage;
     std::vector<float> targets;
     for (int i = 0; i < 6; ++i) {
@@ -225,10 +225,9 @@ TEST(Ensemble, DeprecatedVectorOverloadsStillWork) {
     cfg.seeds = 1;
     cfg.epochs = 5;
     gnn::Ensemble ens;
-    ens.fit(graphs, targets, cfg); // vector form forwards to the span one
+    ens.fit(graphs, targets, cfg);
     EXPECT_EQ(ens.num_members(), 2);
     EXPECT_TRUE(std::isfinite(ens.evaluate_mape(graphs, targets)));
-#pragma GCC diagnostic pop
 }
 
 TEST(Ensemble, SingleModelModeUsesValidationSplit) {

@@ -1,0 +1,422 @@
+// Artifact I/O and pipeline-cache tests: container framing, per-stage
+// round-trip bit-exactness, corrupt/truncated/mismatched-version rejection,
+// cache hit/miss/corrupt accounting and cold-vs-warm determinism at
+// multiple POWERGEAR_JOBS values.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/powergear.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/splits.hpp"
+#include "gnn/serialize.hpp"
+#include "hls/flow.hpp"
+#include "io/cache.hpp"
+#include "io/serial.hpp"
+#include "kernels/polybench.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "sim/stimulus.hpp"
+#include "util/parallel.hpp"
+
+using namespace powergear;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory, removed on destruction.
+struct TempDir {
+    explicit TempDir(const std::string& tag)
+        : path((fs::path(::testing::TempDir()) /
+                ("powergear_io_" + tag +
+                 std::to_string(::getpid())))
+                   .string()) {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+    std::string file(const std::string& name) const {
+        return (fs::path(path) / name).string();
+    }
+    std::string path;
+};
+
+/// Expect `fn()` to throw std::runtime_error whose message contains `what`.
+template <typename Fn>
+void expect_throw_containing(Fn&& fn, const std::string& what) {
+    try {
+        fn();
+        FAIL() << "expected std::runtime_error containing '" << what << "'";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+dataset::GeneratorOptions quick_opts(int samples, const std::string& cache = "") {
+    dataset::GeneratorOptions o;
+    o.samples_per_dataset = samples;
+    o.problem_size = 6;
+    o.cache_dir = cache;
+    return o;
+}
+
+void expect_tensors_bitexact(const gnn::GraphTensors& a,
+                             const gnn::GraphTensors& b) {
+    ASSERT_EQ(a.num_nodes, b.num_nodes);
+    ASSERT_EQ(a.x.rows(), b.x.rows());
+    ASSERT_EQ(a.x.cols(), b.x.cols());
+    for (int r = 0; r < a.x.rows(); ++r)
+        for (int c = 0; c < a.x.cols(); ++c)
+            EXPECT_EQ(a.x.at(r, c), b.x.at(r, c));
+    ASSERT_EQ(a.metadata.cols(), b.metadata.cols());
+    for (int c = 0; c < a.metadata.cols(); ++c)
+        EXPECT_EQ(a.metadata.at(0, c), b.metadata.at(0, c));
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+}
+
+void expect_samples_bitexact(const dataset::Sample& a,
+                             const dataset::Sample& b) {
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.design_index, b.design_index);
+    EXPECT_EQ(a.directives.to_string(), b.directives.to_string());
+    EXPECT_EQ(a.graph, b.graph);
+    EXPECT_EQ(a.metadata, b.metadata);
+    EXPECT_EQ(a.hlpow_feats, b.hlpow_feats);
+    EXPECT_EQ(a.total_power_w, b.total_power_w);
+    EXPECT_EQ(a.dynamic_power_w, b.dynamic_power_w);
+    EXPECT_EQ(a.static_power_w, b.static_power_w);
+    EXPECT_EQ(a.latency_cycles, b.latency_cycles);
+    EXPECT_EQ(a.vivado_total_raw, b.vivado_total_raw);
+    EXPECT_EQ(a.vivado_dynamic_raw, b.vivado_dynamic_raw);
+    expect_tensors_bitexact(a.tensors, b.tensors);
+}
+
+} // namespace
+
+// --- container framing -------------------------------------------------------
+
+TEST(Artifact, FrameRoundTripPreservesPayloadAndHeader) {
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 250, 0, 42};
+    const std::vector<std::uint8_t> file = io::frame("sim", 1, payload);
+    ASSERT_EQ(file.size(), io::kHeaderSize + payload.size());
+    EXPECT_TRUE(io::is_artifact_magic(file.data(), file.size()));
+
+    io::ArtifactInfo info;
+    const std::vector<std::uint8_t> back = io::unframe(file, "sim", 1, &info);
+    EXPECT_EQ(back, payload);
+    EXPECT_EQ(info.stage, "sim");
+    EXPECT_EQ(info.payload_version, 1u);
+    EXPECT_EQ(info.payload_size, payload.size());
+    EXPECT_EQ(info.checksum, io::fnv1a(payload.data(), payload.size()));
+}
+
+TEST(Artifact, UnframeRejectsMalformedFilesWithDiagnostics) {
+    const std::vector<std::uint8_t> good = io::frame("sim", 1, {9, 9, 9});
+
+    std::vector<std::uint8_t> short_file(good.begin(), good.begin() + 10);
+    expect_throw_containing([&] { io::unframe(short_file, "sim", 1); },
+                            "shorter than");
+
+    std::vector<std::uint8_t> bad_magic = good;
+    bad_magic[0] = 'X';
+    expect_throw_containing([&] { io::unframe(bad_magic, "sim", 1); },
+                            "bad magic");
+
+    expect_throw_containing([&] { io::unframe(good, "sample", 1); },
+                            "stage mismatch");
+
+    expect_throw_containing([&] { io::unframe(good, "sim", 2); },
+                            "version 1 unsupported");
+
+    std::vector<std::uint8_t> truncated = good;
+    truncated.pop_back();
+    expect_throw_containing([&] { io::unframe(truncated, "sim", 1); },
+                            "payload size mismatch");
+
+    std::vector<std::uint8_t> corrupt = good;
+    corrupt.back() ^= 0xff;
+    expect_throw_containing([&] { io::unframe(corrupt, "sim", 1); },
+                            "checksum mismatch");
+}
+
+TEST(Artifact, HasherSeparatesTypesAndBoundaries) {
+    // Same raw bytes, different field types or boundaries => different keys.
+    EXPECT_NE(io::Hasher().feed(std::uint64_t{1}).value(),
+              io::Hasher().feed(true).feed(std::uint64_t{0}).value());
+    EXPECT_NE(io::Hasher().feed(std::string("ab")).feed(std::string("c")).value(),
+              io::Hasher().feed(std::string("a")).feed(std::string("bc")).value());
+    EXPECT_NE(io::Hasher().feed(1.0).value(),
+              io::Hasher().feed(std::uint64_t{0x3ff0000000000000ull}).value());
+}
+
+// --- per-stage round trips ---------------------------------------------------
+
+TEST(ArtifactStages, HlsSaveLoadIsBitExact) {
+    TempDir tmp("hls");
+    const ir::Function fn = kernels::build_polybench("atax", 6);
+    hls::Directives dirs;
+    dirs.loops[1] = {4, true};
+    const hls::Design d = hls::synthesize(fn, dirs);
+
+    io::save_hls_file(tmp.file("a.art"), d.sched, d.report);
+    hls::Schedule sched;
+    hls::HlsReport report;
+    io::load_hls_file(tmp.file("a.art"), sched, report);
+
+    EXPECT_EQ(sched.total_latency, d.sched.total_latency);
+    EXPECT_EQ(sched.fsm_states, d.sched.fsm_states);
+    EXPECT_EQ(sched.op_cycle, d.sched.op_cycle);
+    ASSERT_EQ(sched.loops.size(), d.sched.loops.size());
+    for (std::size_t i = 0; i < sched.loops.size(); ++i) {
+        EXPECT_EQ(sched.loops[i].loop, d.sched.loops[i].loop);
+        EXPECT_EQ(sched.loops[i].ii, d.sched.loops[i].ii);
+        EXPECT_EQ(sched.loops[i].total_latency, d.sched.loops[i].total_latency);
+    }
+    EXPECT_EQ(report.lut, d.report.lut);
+    EXPECT_EQ(report.ff, d.report.ff);
+    EXPECT_EQ(report.dsp, d.report.dsp);
+    EXPECT_EQ(report.bram, d.report.bram);
+    EXPECT_EQ(report.latency_cycles, d.report.latency_cycles);
+    EXPECT_EQ(report.clock_ns, d.report.clock_ns); // f64 bit pattern
+}
+
+TEST(ArtifactStages, TraceSaveLoadIsBitExact) {
+    TempDir tmp("trace");
+    const ir::Function fn = kernels::build_polybench("bicg", 6);
+    const sim::Trace trace = sim::simulate(fn, sim::StimulusProfile{});
+
+    io::save_trace_file(tmp.file("t.art"), trace);
+    const sim::Trace back = io::load_trace_file(tmp.file("t.art"));
+    EXPECT_EQ(back.executed_ops, trace.executed_ops);
+    EXPECT_EQ(back.values, trace.values);
+}
+
+TEST(ArtifactStages, GraphSaveLoadIsBitExact) {
+    TempDir tmp("graph");
+    const dataset::Dataset ds = dataset::generate_dataset("atax", quick_opts(1));
+    const graphgen::Graph& g = ds.samples.front().graph;
+
+    io::save_graph_file(tmp.file("g.art"), g);
+    EXPECT_EQ(io::load_graph_file(tmp.file("g.art")), g);
+}
+
+TEST(ArtifactStages, GraphDecodeRejectsNonFiniteFeatures) {
+    const dataset::Dataset ds = dataset::generate_dataset("atax", quick_opts(1));
+    graphgen::Graph g = ds.samples.front().graph;
+    ASSERT_FALSE(g.x.empty());
+    g.x.front() = std::nanf(""); // a checksum-valid frame around NaN data
+    const std::vector<std::uint8_t> file =
+        io::frame("graph", 1, io::encode_graph(g));
+    // The graph validator (src/analysis-backed Graph::valid), not the
+    // checksum, must reject it: the frame itself is internally consistent.
+    expect_throw_containing(
+        [&] { io::decode_graph(io::unframe(file, "graph", 1)); },
+        "invalid graph payload");
+}
+
+TEST(ArtifactStages, GraphDecodeRejectsImplausibleCounts) {
+    const dataset::Dataset ds = dataset::generate_dataset("atax", quick_opts(1));
+    std::vector<std::uint8_t> payload =
+        io::encode_graph(ds.samples.front().graph);
+    // Corrupt the node-feature count (u64 at offset 8) to a huge value; the
+    // decoder must fail on the count, not attempt a multi-GB allocation.
+    payload[8 + 7] = 0x7f;
+    expect_throw_containing([&] { io::decode_graph(payload); }, "count");
+}
+
+TEST(ArtifactStages, SampleSaveLoadIsBitExact) {
+    TempDir tmp("sample");
+    const dataset::Dataset ds = dataset::generate_dataset("gemm", quick_opts(2));
+    for (const dataset::Sample& s : ds.samples) {
+        const std::string path = tmp.file("s.art");
+        io::save_sample_file(path, s);
+        const dataset::Sample back = io::load_sample_file(path);
+        expect_samples_bitexact(s, back);
+    }
+}
+
+TEST(ArtifactStages, EnsembleSaveLoadIsBitExactAndTextStillLoads) {
+    TempDir tmp("model");
+    std::vector<dataset::Dataset> suite;
+    suite.push_back(dataset::generate_dataset("atax", quick_opts(4)));
+    suite.push_back(dataset::generate_dataset("bicg", quick_opts(4)));
+
+    core::PowerGear::Options o;
+    o.epochs = 2;
+    o.folds = 2;
+    o.hidden = 4;
+    o.layers = 1;
+    core::PowerGear pg(o);
+    pg.fit(dataset::pool_except(suite, 1));
+
+    // Binary artifact round trip through the public save/load.
+    pg.save(tmp.file("m.art"));
+    core::PowerGear pg2(o);
+    pg2.load(tmp.file("m.art"));
+    EXPECT_EQ(pg2.num_members(), pg.num_members());
+    for (const dataset::Sample& s : suite[1].samples)
+        EXPECT_EQ(pg.estimate(s), pg2.estimate(s)); // bit-exact weights
+
+    // A pre-artifact text-format file is still readable (format sniffing).
+    {
+        std::ofstream f(tmp.file("m.txt"));
+        gnn::Ensemble legacy = io::load_ensemble_file(tmp.file("m.art"));
+        gnn::save_ensemble(f, legacy);
+    }
+    core::PowerGear pg3(o);
+    pg3.load(tmp.file("m.txt"));
+    for (const dataset::Sample& s : suite[1].samples)
+        EXPECT_EQ(pg.estimate(s), pg3.estimate(s));
+
+    expect_throw_containing(
+        [&] { io::load_ensemble_file(tmp.file("missing.art")); },
+        "cannot read");
+}
+
+// --- content-addressed cache -------------------------------------------------
+
+TEST(Cache, DisabledCacheMissesAndDropsStores) {
+    const io::Cache cache;
+    EXPECT_FALSE(cache.enabled());
+    const std::vector<std::uint8_t> payload = {1, 2, 3};
+    // Disabled store still reports the chaining checksum, but writes nothing.
+    EXPECT_EQ(cache.store("sim", 7, 1, payload),
+              io::fnv1a(payload.data(), payload.size()));
+    EXPECT_FALSE(cache.load("sim", 7, 1).has_value());
+    EXPECT_FALSE(cache.peek_checksum("sim", 7, 1).has_value());
+    EXPECT_TRUE(cache.stats().empty());
+}
+
+TEST(Cache, StoreLoadPeekStatsClear) {
+    TempDir tmp("cache");
+    const io::Cache cache(tmp.path);
+    const std::vector<std::uint8_t> payload = {5, 6, 7, 8};
+
+    EXPECT_FALSE(cache.load("sim", 1, 1).has_value()); // cold miss
+    const std::uint64_t checksum = cache.store("sim", 1, 1, payload);
+    EXPECT_EQ(cache.load("sim", 1, 1), payload);
+    EXPECT_EQ(cache.peek_checksum("sim", 1, 1), checksum);
+    // Same key, different stage or payload version: miss, not a mix-up.
+    EXPECT_FALSE(cache.load("sample", 1, 1).has_value());
+    EXPECT_FALSE(cache.load("sim", 1, 2).has_value());
+
+    cache.store("sample", 2, 1, {9});
+    const std::vector<io::Cache::StageStats> stats = cache.stats();
+    ASSERT_EQ(stats.size(), 2u);
+    EXPECT_EQ(stats[0].stage, "sample");
+    EXPECT_EQ(stats[0].files, 1u);
+    EXPECT_EQ(stats[1].stage, "sim");
+    EXPECT_EQ(stats[1].files, 1u);
+    EXPECT_EQ(stats[1].bytes, io::kHeaderSize + payload.size());
+
+    EXPECT_EQ(cache.clear(), 2u);
+    EXPECT_FALSE(cache.load("sim", 1, 1).has_value());
+    EXPECT_TRUE(cache.stats().empty() ||
+                cache.stats().front().files == 0u);
+}
+
+TEST(Cache, CorruptEntryIsAMissNotAFailure) {
+    TempDir tmp("corrupt");
+    const io::Cache cache(tmp.path);
+    cache.store("sim", 3, 1, {1, 2, 3, 4});
+    { // flip one payload byte on disk
+        std::fstream f(cache.path_of("sim", 3),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(io::kHeaderSize));
+        f.put('\xee');
+    }
+    obs::set_enabled(true);
+    obs::reset();
+    EXPECT_FALSE(cache.load("sim", 3, 1).has_value());
+    const obs::Report rep = obs::snapshot();
+    obs::set_enabled(false);
+    const auto it = rep.phases.find("cache");
+    ASSERT_NE(it, rep.phases.end());
+    ASSERT_TRUE(it->second.counters.count("corrupt"));
+    EXPECT_GE(it->second.counters.at("corrupt"), 1u);
+    ASSERT_TRUE(it->second.counters.count("misses"));
+}
+
+// --- cold vs. warm pipeline determinism --------------------------------------
+
+TEST(PipelineCache, WarmRunIsBitIdenticalAcrossJobCounts) {
+    TempDir tmp("pipeline");
+    const int prior_jobs = util::parallel_jobs();
+
+    // Cold reference, no cache, serial.
+    util::set_parallel_jobs(1);
+    const dataset::Dataset reference =
+        dataset::generate_dataset("gemm", quick_opts(5));
+
+    // Cold populate + warm reload, at jobs=1 and jobs=4, all through the
+    // same cache directory: every variant must be bit-identical.
+    for (const int jobs : {1, 4}) {
+        util::set_parallel_jobs(jobs);
+        const dataset::Dataset cold =
+            dataset::generate_dataset("gemm", quick_opts(5, tmp.path));
+        const dataset::Dataset warm =
+            dataset::generate_dataset("gemm", quick_opts(5, tmp.path));
+        ASSERT_EQ(cold.size(), reference.size());
+        ASSERT_EQ(warm.size(), reference.size());
+        for (std::size_t i = 0; i < reference.samples.size(); ++i) {
+            expect_samples_bitexact(reference.samples[i], cold.samples[i]);
+            expect_samples_bitexact(reference.samples[i], warm.samples[i]);
+        }
+    }
+    util::set_parallel_jobs(prior_jobs);
+}
+
+TEST(PipelineCache, FitCachedRestoresIdenticalWeights) {
+    TempDir tmp("fitcache");
+    std::vector<dataset::Dataset> suite;
+    suite.push_back(dataset::generate_dataset("atax", quick_opts(4, tmp.path)));
+    suite.push_back(dataset::generate_dataset("bicg", quick_opts(4, tmp.path)));
+
+    core::PowerGear::Options o;
+    o.epochs = 2;
+    o.folds = 2;
+    o.hidden = 4;
+    o.layers = 1;
+    const io::Cache cache(tmp.path);
+
+    core::PowerGear first(o);
+    EXPECT_FALSE(first.fit_cached(dataset::pool_except(suite, 1), cache));
+    core::PowerGear second(o);
+    EXPECT_TRUE(second.fit_cached(dataset::pool_except(suite, 1), cache));
+    for (const dataset::Sample& s : suite[1].samples)
+        EXPECT_EQ(first.estimate(s), second.estimate(s));
+
+    // Any option change re-keys: no stale hit.
+    core::PowerGear::Options o2 = o;
+    o2.epochs = 3;
+    core::PowerGear third(o2);
+    EXPECT_FALSE(third.fit_cached(dataset::pool_except(suite, 1), cache));
+}
+
+TEST(PipelineCache, CorruptSampleArtifactFallsBackToRecompute) {
+    TempDir tmp("fallback");
+    const dataset::Dataset cold =
+        dataset::generate_dataset("atax", quick_opts(3, tmp.path));
+    // Damage every cached sample artifact; the warm run must silently
+    // recompute and still match bit-exactly.
+    for (const auto& entry :
+         fs::directory_iterator(fs::path(tmp.path) / "sample")) {
+        std::fstream f(entry.path(), std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(static_cast<std::streamoff>(io::kHeaderSize) + 2);
+        f.put('\x5a');
+        f.put('\xa5');
+    }
+    const dataset::Dataset warm =
+        dataset::generate_dataset("atax", quick_opts(3, tmp.path));
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.samples.size(); ++i)
+        expect_samples_bitexact(cold.samples[i], warm.samples[i]);
+}

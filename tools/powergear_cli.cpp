@@ -8,14 +8,19 @@
 //   powergear dse      --kernel atax --samples 48 --budget 0.4
 //                      [--train bicg,gemm,syrk]
 //   powergear lint     [kernel] [--size 16] [--points 6] [--json]
+//   powergear cache    {stats|clear} [--cache-dir DIR]
+//   powergear version  (also: powergear --version)
 //
 // gen/train/estimate/dse accept --jobs N to size the parallel runtime
-// (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial). Results
-// are bit-identical for every job count.
+// (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial) and
+// --cache-dir DIR (env fallback: POWERGEAR_CACHE) to reuse pipeline-stage
+// artifacts — sim traces, finished samples, trained ensembles — across
+// invocations through the content-addressed io::Cache. Results are
+// bit-identical for every job count, with and without a warm cache.
 //
 // Every command accepts --metrics FILE (env fallback: POWERGEAR_METRICS)
 // to write an obs JSON report of per-phase latency percentiles, counters
-// and throughput after the run.
+// (including cache hits/misses) and throughput after the run.
 //
 // Dataset generation is deterministic for a given (kernel, samples, size,
 // seed), so models trained in one invocation estimate datasets generated in
@@ -34,6 +39,9 @@
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
 #include "dse/explorer.hpp"
+#include "gnn/serialize.hpp"
+#include "io/cache.hpp"
+#include "io/serial.hpp"
 #include "kernels/polybench.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
@@ -147,11 +155,18 @@ std::vector<std::string> split_list(const std::string& csv) {
     return out;
 }
 
+/// Pipeline-cache root: --cache-dir wins, POWERGEAR_CACHE is the fallback,
+/// both empty = caching off.
+std::string cache_dir_of(const Args& a) {
+    return io::Cache::resolve(a.get("cache-dir")).root();
+}
+
 dataset::GeneratorOptions generator_options(const Args& a) {
     dataset::GeneratorOptions o;
     o.samples_per_dataset = a.get_int("samples", 24);
     o.problem_size = a.get_int("size", 16);
     o.seed = static_cast<std::uint64_t>(a.get_int("seed", 42));
+    o.cache_dir = cache_dir_of(a);
     return o;
 }
 
@@ -217,7 +232,8 @@ int cmd_train(const Args& a) {
                 opts.kind == dataset::PowerKind::Dynamic ? "dynamic" : "total",
                 opts.folds, opts.seeds);
     core::PowerGear pg(opts);
-    pg.fit(pool);
+    if (pg.fit_cached(pool, io::Cache(cache_dir_of(a))))
+        std::printf("loaded trained ensemble from the pipeline cache\n");
     pg.save(a.get("out"));
     std::printf("saved %d-member ensemble to %s\n", pg.num_members(),
                 a.get("out").c_str());
@@ -270,15 +286,15 @@ int cmd_dse(const Args& a) {
     core::PowerGear::Options opts = core::PowerGear::Options::from_bench_scale(
         util::bench_scale(), dataset::PowerKind::Dynamic);
     core::PowerGear pg(opts);
-    pg.fit(dataset::pool_except(suite, tgt));
+    if (pg.fit_cached(dataset::pool_except(suite, tgt),
+                      io::Cache(cache_dir_of(a))))
+        std::printf("loaded trained ensemble from the pipeline cache\n");
 
     dse::ExplorerConfig cfg;
     cfg.total_budget = a.get_double("budget", 0.4);
     const dse::Explorer explorer(cfg);
     const dse::DseResult res = explorer.run(
-        dataset::pool_of(suite[tgt]),
-        [&pg](const dataset::Sample& s) { return pg.estimate(s); },
-        dataset::PowerKind::Dynamic);
+        dataset::pool_of(suite[tgt]), pg, dataset::PowerKind::Dynamic);
     std::printf("explored %zu/%d designs (budget %.0f%%), ADRS %.4f\n",
                 res.sampled.size(), suite[tgt].size(), 100 * cfg.total_budget,
                 res.adrs_value);
@@ -323,27 +339,89 @@ int cmd_lint(const Args& a) {
     return all.errors() > 0 ? 2 : (all.empty() ? 0 : 1);
 }
 
+int cmd_cache(const Args& a) {
+    const std::string action =
+        a.positional.empty() ? "stats" : a.positional.front();
+    if (action != "stats" && action != "clear")
+        throw UsageError("cache action must be 'stats' or 'clear' (got '" +
+                         action + "')");
+    const io::Cache cache = io::Cache::resolve(a.get("cache-dir"));
+    if (!cache.enabled()) {
+        std::fprintf(stderr,
+                     "error: cache %s needs --cache-dir DIR or "
+                     "POWERGEAR_CACHE=DIR\n",
+                     action.c_str());
+        return 1;
+    }
+    if (action == "clear") {
+        const std::uint64_t removed = cache.clear();
+        std::printf("removed %llu cached artifact(s) from %s\n",
+                    static_cast<unsigned long long>(removed),
+                    cache.root().c_str());
+        return 0;
+    }
+    const std::vector<io::Cache::StageStats> stats = cache.stats();
+    util::Table table({"stage", "artifacts", "bytes"});
+    std::uint64_t files = 0, bytes = 0;
+    for (const io::Cache::StageStats& st : stats) {
+        table.add_row({st.stage, std::to_string(st.files),
+                       std::to_string(st.bytes)});
+        files += st.files;
+        bytes += st.bytes;
+    }
+    std::printf("%s", table.to_ascii().c_str());
+    std::printf("cache %s: %llu artifact(s), %llu bytes\n",
+                cache.root().c_str(), static_cast<unsigned long long>(files),
+                static_cast<unsigned long long>(bytes));
+    return 0;
+}
+
+int cmd_version() {
+    // One "name version" pair per line, grep-friendly for scripts and CI.
+    std::printf("powergear-artifact %s\n", io::kArtifactFormatName);
+    std::printf("powergear-metrics powergear-obs-v1\n");
+    std::printf("powergear-model-payload %u\n",
+                static_cast<unsigned>(io::kModelPayloadVersion));
+    std::printf("powergear-model-text %d\n", gnn::kModelFormatVersion);
+    return 0;
+}
+
 void usage() {
     std::printf(
         "powergear — early-stage HLS power estimation (PowerGear reproduction)\n"
         "\n"
-        "commands:\n"
-        "  gen      --kernel K [--samples N --size S --csv F]  dump a dataset\n"
-        "  train    --kernels A,B,C --out M.pgm [--kind dynamic --epochs N\n"
-        "           --folds K --seeds S --hidden H]            train + save\n"
-        "  estimate --model M.pgm --kernel K [--kind dynamic]  estimate designs\n"
-        "  dse      --kernel K [--train A,B,C --budget 0.4]    explore a space\n"
-        "  lint     [K] [--size S --points N --json]           static-check the\n"
-        "           pipeline artifacts of one kernel (default: all kernels);\n"
-        "           exit 0 = clean, 1 = warnings, 2 = errors\n"
+        "usage: powergear <command> [options]\n"
         "\n"
-        "gen/train/estimate/dse also take --jobs N (parallel runtime width;\n"
-        "default POWERGEAR_JOBS or hardware concurrency, 1 = serial —\n"
-        "results are bit-identical either way).\n"
+        "  gen       --kernel K [--samples N --size S --seed X --csv F]\n"
+        "            [--jobs N] [--metrics F] [--cache-dir D]\n"
+        "            generate one dataset and dump its designs\n"
+        "  train     --kernels A,B,C --out M.pgm [--kind dynamic --epochs N\n"
+        "            --folds K --seeds S --hidden H]\n"
+        "            [--jobs N] [--metrics F] [--cache-dir D]\n"
+        "            train an ensemble and save it as a model artifact\n"
+        "  estimate  --model M.pgm --kernel K [--kind dynamic]\n"
+        "            [--jobs N] [--metrics F] [--cache-dir D]\n"
+        "            estimate every design of a kernel vs. board labels\n"
+        "  dse       --kernel K [--train A,B,C --budget 0.4]\n"
+        "            [--jobs N] [--metrics F] [--cache-dir D]\n"
+        "            explore a design space under an estimation budget\n"
+        "  lint      [K] [--size S --points N --json] [--metrics F]\n"
+        "            static-check the pipeline artifacts of one kernel\n"
+        "            (default: all); exit 0 = clean, 1 = warnings, 2 = errors\n"
+        "  cache     {stats|clear} [--cache-dir D]\n"
+        "            inspect or empty the pipeline cache\n"
+        "  version   print the on-disk format versions (also: --version)\n"
         "\n"
-        "every command takes --metrics FILE (or POWERGEAR_METRICS=FILE) to\n"
-        "dump a per-phase latency/throughput JSON report (powergear-obs-v1\n"
-        "schema: p50/p95/max ms, counters, rates) after the run.\n");
+        "common options:\n"
+        "  --jobs N       parallel runtime width (env POWERGEAR_JOBS; 1 =\n"
+        "                 serial — results are bit-identical at any width)\n"
+        "  --metrics F    write a powergear-obs-v1 JSON report (p50/p95/max\n"
+        "                 ms, counters incl. cache hits/misses, rates) after\n"
+        "                 the run (env POWERGEAR_METRICS)\n"
+        "  --cache-dir D  content-addressed pipeline cache root (env\n"
+        "                 POWERGEAR_CACHE): warm re-runs load sim traces,\n"
+        "                 samples and trained ensembles bit-identically\n"
+        "                 instead of recomputing them\n");
 }
 
 } // namespace
@@ -351,13 +429,15 @@ void usage() {
 int main(int argc, char** argv) {
     try {
         const Args args = parse(argc, argv);
+        if (args.command == "version" || args.command == "--version")
+            return cmd_version();
         if (args.command == "gen" || args.command == "train" ||
             args.command == "estimate" || args.command == "dse")
             apply_jobs(args);
         const bool known =
             args.command == "gen" || args.command == "train" ||
             args.command == "estimate" || args.command == "dse" ||
-            args.command == "lint";
+            args.command == "lint" || args.command == "cache";
         if (!known) {
             usage();
             return args.command.empty() ? 0 : 1;
@@ -369,6 +449,7 @@ int main(int argc, char** argv) {
         else if (args.command == "train") rc = cmd_train(args);
         else if (args.command == "estimate") rc = cmd_estimate(args);
         else if (args.command == "dse") rc = cmd_dse(args);
+        else if (args.command == "cache") rc = cmd_cache(args);
         else rc = cmd_lint(args);
         metrics_end(metrics);
         return rc;
