@@ -41,6 +41,8 @@
 #include "hls/report.hpp"
 #include "hls/scheduler.hpp"
 #include "kernels/polybench.hpp"
+#include "kernels/synthetic.hpp"
+#include "nn/kernels_cpu.hpp"
 #include "obs/json.hpp"
 #include "sim/interpreter.hpp"
 #include "sim/stimulus.hpp"
@@ -116,6 +118,35 @@ struct Prepared {
         binding = hls::bind(fn, elab, sched);
         const sim::ActivityOracle oracle(fn, elab, trace, sched.total_latency);
         graph = graphgen::construct_graph(fn, elab, binding, oracle);
+        std::vector<double> metadata(10, 1.0);
+        tensors = gnn::GraphTensors::from(graph, metadata);
+    }
+};
+
+/// NN-training fixture: a ~100-node synthetic kernel graph (the polybench
+/// gemm graph has only ~21 nodes, far below the design sizes the estimator
+/// targets) so conv_forward/train_epoch measure kernel throughput rather
+/// than per-node bookkeeping.
+struct TrainFixture {
+    gnn::GraphTensors tensors;
+
+    TrainFixture() {
+        kernels::SyntheticSpec spec;
+        spec.max_depth = 3;
+        spec.num_arrays = 6;
+        spec.ops_per_body = 40;
+        util::Rng rng(99);
+        ir::Function fn = kernels::build_synthetic(spec, rng, 1);
+        sim::Interpreter interp(fn);
+        sim::apply_stimulus(interp, fn, {});
+        sim::Trace trace = interp.run();
+        const hls::DesignSpace space(fn);
+        auto elab = hls::elaborate(fn, space.point(0));
+        auto sched = hls::schedule(fn, elab);
+        auto binding = hls::bind(fn, elab, sched);
+        const sim::ActivityOracle oracle(fn, elab, trace,
+                                         sched.total_latency);
+        auto graph = graphgen::construct_graph(fn, elab, binding, oracle);
         std::vector<double> metadata(10, 1.0);
         tensors = gnn::GraphTensors::from(graph, metadata);
     }
@@ -318,6 +349,35 @@ int main(int argc, char** argv) {
                 if (c.rows() != 128) std::abort();
             }));
         }
+        if (want("matmul_blocked")) {
+            // The blocked kernel directly, bypassing dispatch: tracks the
+            // register-tiled GEMM itself regardless of POWERGEAR_KERNEL.
+            util::Rng rng(7);
+            const nn::Tensor a = nn::Tensor::xavier(128, 128, rng);
+            const nn::Tensor b = nn::Tensor::xavier(128, 128, rng);
+            nn::Tensor c(128, 128);
+            results.push_back(run_bench("matmul_blocked", reps, [&] {
+                nn::kernels::matmul_blocked(128, 128, 128, a.data(), b.data(),
+                                            c.data());
+                if (c.at(0, 0) != c.at(0, 0)) std::abort();
+            }));
+        }
+        if (want("conv_forward")) {
+            // One HEC conv layer at the paper-adjacent width, tape reused
+            // across iterations so the arena is grown once.
+            const TrainFixture fx;
+            util::Rng rng(11);
+            gnn::HecConv conv(fx.tensors.x.cols(), 64,
+                              graphgen::Graph::kEdgeDim, true, true, true,
+                              rng);
+            nn::Tape t;
+            results.push_back(run_bench("conv_forward", reps, [&] {
+                t.reset();
+                const int out =
+                    conv.forward(t, fx.tensors, t.input_view(fx.tensors.x));
+                if (t.value(out).rows() != fx.tensors.num_nodes) std::abort();
+            }));
+        }
         if (want("hecgnn_forward")) {
             gnn::ModelConfig cfg;
             cfg.node_dim = p.tensors.x.cols();
@@ -352,6 +412,25 @@ int main(int argc, char** argv) {
                 },
                 static_cast<double>(cold.samples.size())));
             fs::remove_all(cache_root);
+        }
+        if (want("train_epoch")) {
+            // Full forward+backward+Adam over one mini-batch-sized epoch at
+            // hidden=64, where the matmul kernels dominate the profile.
+            const TrainFixture fx;
+            gnn::ModelConfig cfg;
+            cfg.node_dim = fx.tensors.x.cols();
+            cfg.hidden = 64;
+            gnn::PowerModel model(cfg);
+            const std::vector<const gnn::GraphTensors*> graphs(8,
+                                                               &fx.tensors);
+            const std::vector<float> targets(8, 1.5f);
+            results.push_back(run_bench(
+                "train_epoch", reps,
+                [&] {
+                    const double loss = model.train_epoch(graphs, targets, 8);
+                    if (!(loss >= 0.0)) std::abort();
+                },
+                static_cast<double>(graphs.size())));
         }
         if (want("estimate_batch")) {
             const EstimatorFixture fx;

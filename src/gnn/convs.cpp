@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace powergear::gnn {
 
@@ -109,18 +110,21 @@ int HecConv::forward(Tape& t, const GraphTensors& g, int h) {
             const Tensor& ef = heterogeneous_
                                    ? g.rel_edge_feat[static_cast<std::size_t>(rel)]
                                    : g.edge_feat;
-            msg = t.matmul(t.input(ef), t.param(&w_e));
+            msg = t.matmul(t.input_view(ef), t.param(&w_e));
         } else {
-            // w/o e.f.: aggregate transformed neighbor embeddings instead.
-            msg = t.matmul(t.gather_rows(h, srcs), t.param(&w_e));
+            // w/o e.f.: aggregate transformed neighbor embeddings instead,
+            // via the fused gather+matmul kernel (no materialized gather).
+            msg = t.gather_matmul(h, std::span<const int>(srcs), t.param(&w_e));
         }
         msg = t.matmul(msg, t.param(&w_r[static_cast<std::size_t>(rel)]));
 
-        int scattered = t.scatter_add_rows(msg, dsts, g.num_nodes);
+        int scattered =
+            t.scatter_add_rows(msg, std::span<const int>(dsts), g.num_nodes);
         if (!directed_) {
             // w/o dir.: edges also deliver their message to the source side.
-            scattered =
-                t.add(scattered, t.scatter_add_rows(msg, srcs, g.num_nodes));
+            scattered = t.add(
+                scattered,
+                t.scatter_add_rows(msg, std::span<const int>(srcs), g.num_nodes));
         }
         agg = agg < 0 ? scattered : t.add(agg, scattered);
     }
@@ -143,9 +147,11 @@ GcnConv::GcnConv(int in, int out, util::Rng& rng) : lin(in, out, rng) {}
 
 int GcnConv::forward(Tape& t, const GraphTensors& g, int h) {
     const int hw = lin.forward(t, h);
-    const int gathered = t.gather_rows(hw, g.gcn_src);
-    const int weighted = t.scale_rows(gathered, g.gcn_norm);
-    return t.relu(t.scatter_add_rows(weighted, g.gcn_dst, g.num_nodes));
+    const int gathered = t.gather_rows(hw, std::span<const int>(g.gcn_src));
+    const int weighted =
+        t.scale_rows(gathered, std::span<const float>(g.gcn_norm));
+    return t.relu(t.scatter_add_rows(weighted, std::span<const int>(g.gcn_dst),
+                                     g.num_nodes));
 }
 
 void GcnConv::collect(std::vector<nn::Param*>& out) { lin.collect(out); }
@@ -160,9 +166,11 @@ SageConv::SageConv(int in, int out, util::Rng& rng)
 int SageConv::forward(Tape& t, const GraphTensors& g, int h) {
     int neigh = -1;
     if (!g.src.empty()) {
-        const int gathered = t.gather_rows(h, g.src);
-        const int summed = t.scatter_add_rows(gathered, g.dst, g.num_nodes);
-        const int mean = t.scale_rows(summed, g.inv_in_degree);
+        const int gathered = t.gather_rows(h, std::span<const int>(g.src));
+        const int summed = t.scatter_add_rows(
+            gathered, std::span<const int>(g.dst), g.num_nodes);
+        const int mean =
+            t.scale_rows(summed, std::span<const float>(g.inv_in_degree));
         neigh = w_neigh.forward(t, mean);
     }
     const int self = w_self.forward(t, h);
@@ -188,9 +196,10 @@ int GraphConvLayer::forward(Tape& t, const GraphTensors& g, int h) {
         std::vector<float> weights(g.src.size());
         for (std::size_t e = 0; e < g.src.size(); ++e)
             weights[e] = g.edge_feat.at(static_cast<int>(e), 0);
-        const int gathered = t.gather_rows(h, g.src);
+        const int gathered = t.gather_rows(h, std::span<const int>(g.src));
         const int weighted = t.scale_rows(gathered, std::move(weights));
-        const int summed = t.scatter_add_rows(weighted, g.dst, g.num_nodes);
+        const int summed = t.scatter_add_rows(
+            weighted, std::span<const int>(g.dst), g.num_nodes);
         neigh = w_neigh.forward(t, summed);
     }
     const int self = w_self.forward(t, h);
@@ -212,10 +221,11 @@ GineConv::GineConv(int in, int out, int edge_dim, util::Rng& rng)
 int GineConv::forward(Tape& t, const GraphTensors& g, int h) {
     int pooled = -1;
     if (!g.src.empty()) {
-        const int lifted = edge_lift.forward(t, t.input(g.edge_feat));
-        const int gathered = t.gather_rows(h, g.src);
+        const int lifted = edge_lift.forward(t, t.input_view(g.edge_feat));
+        const int gathered = t.gather_rows(h, std::span<const int>(g.src));
         const int msg = t.relu(t.add(gathered, lifted));
-        pooled = t.scatter_add_rows(msg, g.dst, g.num_nodes);
+        pooled =
+            t.scatter_add_rows(msg, std::span<const int>(g.dst), g.num_nodes);
     }
     const int combined = pooled < 0 ? h : t.add(h, pooled); // eps = 0
     return t.relu(mlp.forward(t, combined));

@@ -136,7 +136,8 @@ void Ensemble::adopt(std::vector<std::unique_ptr<PowerModel>> members) {
 float Ensemble::predict(const GraphTensors& g) const {
     if (members_.empty()) throw std::logic_error("Ensemble::predict before fit");
     double s = 0.0;
-    for (const auto& m : members_) s += m->predict(g);
+    nn::Tape t; // one arena shared across members
+    for (const auto& m : members_) s += m->predict(g, t);
     return static_cast<float>(s / static_cast<double>(members_.size()));
 }
 
@@ -144,7 +145,8 @@ Ensemble::Stats Ensemble::predict_stats(const GraphTensors& g) const {
     if (members_.empty()) throw std::logic_error("Ensemble::predict before fit");
     std::vector<double> preds;
     preds.reserve(members_.size());
-    for (const auto& m : members_) preds.push_back(m->predict(g));
+    nn::Tape t;
+    for (const auto& m : members_) preds.push_back(m->predict(g, t));
     double mean = 0.0;
     for (double p : preds) mean += p;
     mean /= static_cast<double>(preds.size());

@@ -70,7 +70,7 @@ int PowerModel::forward(nn::Tape& t, const GraphTensors& g, bool training) {
             cfg_.node_dim, cfg_.metadata_dim, cfg_.edge_dim, cfg_.metadata, g);
         analysis::require_clean(r, "PowerModel::forward");
     }
-    int h = t.input(g.x);
+    int h = t.input_view(g.x);
     int pooled = -1;
     for (auto& conv : convs_) {
         h = conv->forward(t, g, h);
@@ -89,7 +89,7 @@ int PowerModel::forward(nn::Tape& t, const GraphTensors& g, bool training) {
 
     int holistic = pooled;
     if (cfg_.metadata) {
-        const int hm = t.relu(meta_fc_->forward(t, t.input(g.metadata)));
+        const int hm = meta_fc_->forward_relu(t, t.input_view(g.metadata));
         holistic = t.concat_cols(pooled, hm);
     }
     return head_->forward(t, holistic);
@@ -97,6 +97,11 @@ int PowerModel::forward(nn::Tape& t, const GraphTensors& g, bool training) {
 
 float PowerModel::predict(const GraphTensors& g) {
     nn::Tape t;
+    return predict(g, t);
+}
+
+float PowerModel::predict(const GraphTensors& g, nn::Tape& t) {
+    t.reset();
     const int out = forward(t, g, /*training=*/false);
     return t.value(out).at(0, 0);
 }
@@ -112,11 +117,12 @@ double PowerModel::train_epoch(const std::vector<const GraphTensors*>& graphs,
 
     double loss_sum = 0.0;
     int batches = 0;
+    nn::Tape t; // reused across batches: reset() rewinds the arena
     for (std::size_t start = 0; start < order.size();
          start += static_cast<std::size_t>(batch_size)) {
         const std::size_t end =
             std::min(order.size(), start + static_cast<std::size_t>(batch_size));
-        nn::Tape t;
+        t.reset();
         std::vector<int> preds;
         std::vector<float> ys;
         for (std::size_t i = start; i < end; ++i) {
@@ -144,8 +150,9 @@ double PowerModel::evaluate_mape(const std::vector<const GraphTensors*>& graphs,
     if (graphs.size() != targets.size())
         throw std::invalid_argument("evaluate_mape: size mismatch");
     double s = 0.0;
+    nn::Tape t;
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-        const float p = predict(*graphs[i]);
+        const float p = predict(*graphs[i], t);
         s += std::abs(p - targets[i]) / std::max(1e-9f, std::abs(targets[i]));
     }
     return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());

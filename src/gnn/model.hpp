@@ -44,6 +44,9 @@ public:
 
     /// Inference (no dropout). Returns the power estimate in watts.
     float predict(const GraphTensors& g);
+    /// Inference reusing a caller-owned tape (resets it first) so repeated
+    /// predictions share one grown-once arena instead of reallocating.
+    float predict(const GraphTensors& g, nn::Tape& t);
 
     /// One epoch of mini-batch training; returns the mean training loss.
     double train_epoch(const std::vector<const GraphTensors*>& graphs,

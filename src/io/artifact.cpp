@@ -195,6 +195,13 @@ std::vector<std::uint8_t> unframe(const std::vector<std::uint8_t>& file,
         throw std::runtime_error("artifact: stage mismatch: expected '" +
                                  expected_stage + "', found '" + info->stage +
                                  "'");
+    // The stage tag is zero-padded to 8 bytes; bytes past the tag's NUL are
+    // invisible to the strnlen-based parse above, so reject them explicitly —
+    // a corrupted header must never load successfully.
+    for (std::size_t i = 8 + info->stage.size(); i < 16; ++i)
+        if (file[i] != 0)
+            throw std::runtime_error(
+                "artifact: nonzero padding in stage tag (corrupt header)");
     if (info->payload_version != expected_payload_version)
         throw std::runtime_error(
             "artifact: " + expected_stage + " payload version " +

@@ -1,10 +1,15 @@
 #include "nn/autograd.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
+#include "nn/kernels_cpu.hpp"
+
 namespace powergear::nn {
+
+namespace k = kernels;
 
 int Tape::push(Tensor val, std::function<void(Tape&, int)> backprop) {
     Node n;
@@ -14,40 +19,87 @@ int Tape::push(Tensor val, std::function<void(Tape&, int)> backprop) {
     return static_cast<int>(nodes_.size()) - 1;
 }
 
+Tensor Tape::make(int rows, int cols) {
+    return Tensor::borrowed(
+        rows, cols,
+        arena_.alloc(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)));
+}
+
 Tensor& Tape::grad_buf(int node) {
     Node& n = nodes_[static_cast<std::size_t>(node)];
-    if (n.grad.empty()) n.grad = Tensor(n.val.rows(), n.val.cols());
+    if (n.grad.empty()) n.grad = make(n.val.rows(), n.val.cols());
     return n.grad;
+}
+
+void Tape::reset() {
+    nodes_.clear();
+    arena_.reset();
 }
 
 int Tape::input(Tensor v) { return push(std::move(v)); }
 
+int Tape::input_view(const Tensor& v) {
+    // The node never writes through the view (only grad buffers are written),
+    // so dropping const on the caller's storage is safe.
+    return push(
+        Tensor::borrowed(v.rows(), v.cols(), const_cast<float*>(v.data())));
+}
+
 int Tape::param(Param* p) {
-    const int id = push(p->w);
+    const int id =
+        push(Tensor::borrowed(p->w.rows(), p->w.cols(), p->w.data()));
     nodes_[static_cast<std::size_t>(id)].external = p;
     return id;
 }
 
 int Tape::matmul(int a, int b) {
-    Tensor out = nn::matmul(value(a), value(b));
-    return push(std::move(out), [a, b](Tape& t, int self) {
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    if (av.cols() != bv.rows()) throw std::invalid_argument("matmul: inner dim");
+    const int m = av.rows(), kk = av.cols(), n = bv.cols();
+    Tensor out = make(m, n);
+    k::matmul(m, kk, n, av.data(), bv.data(), out.data());
+    return push(std::move(out), [a, b, m, kk, n](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
-        t.grad_buf(a).add_inplace(matmul_nt(g, t.value(b)));
-        t.grad_buf(b).add_inplace(matmul_tn(t.value(a), g));
+        // ga(m,kk) += g(m,n) · b(kk,n)ᵀ ; gb(kk,n) += a(m,kk)ᵀ · g(m,n)
+        k::matmul_nt_acc(m, n, kk, g.data(), t.value(b).data(),
+                         t.grad_buf(a).data());
+        k::matmul_tn_acc(m, kk, n, t.value(a).data(), g.data(),
+                         t.grad_buf(b).data());
+    });
+}
+
+int Tape::gather_matmul(int x, std::span<const int> idx, int w) {
+    const Tensor& xv = value(x);
+    const Tensor& wv = value(w);
+    if (xv.cols() != wv.rows()) throw std::invalid_argument("matmul: inner dim");
+    const int e = static_cast<int>(idx.size()), kk = xv.cols(), n = wv.cols();
+    Tensor out = make(e, n);
+    k::gather_matmul(e, kk, n, xv.data(), idx.data(), wv.data(), out.data());
+    const int* ip = idx.data();
+    return push(std::move(out), [x, w, ip, e, kk, n](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        k::gather_matmul_tn_acc(e, kk, n, t.value(x).data(), ip, g.data(),
+                                t.grad_buf(w).data());
+        k::scatter_matmul_nt_acc(e, kk, n, g.data(), t.value(w).data(), ip,
+                                 t.grad_buf(x).data());
     });
 }
 
 int Tape::add(int a, int b) {
-    if (value(a).rows() != value(b).rows() || value(a).cols() != value(b).cols())
+    const Tensor& av = value(a);
+    const Tensor& bv = value(b);
+    if (av.rows() != bv.rows() || av.cols() != bv.cols())
         throw std::invalid_argument("Tape::add: shape mismatch");
-    Tensor out = value(a);
-    out.add_inplace(value(b));
+    Tensor out = make(av.rows(), av.cols());
+    k::vadd(av.size(), av.data(), bv.data(), out.data());
     return push(std::move(out), [a, b](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
-        t.grad_buf(a).add_inplace(g);
-        t.grad_buf(b).add_inplace(g);
+        k::vacc(g.size(), g.data(), t.grad_buf(a).data());
+        k::vacc(g.size(), g.data(), t.grad_buf(b).data());
     });
 }
 
@@ -56,32 +108,44 @@ int Tape::add_bias(int x, int bias) {
     const Tensor& bv = value(bias);
     if (bv.rows() != 1 || bv.cols() != xv.cols())
         throw std::invalid_argument("Tape::add_bias: bias shape");
-    Tensor out = xv;
-    for (int r = 0; r < out.rows(); ++r)
-        for (int c = 0; c < out.cols(); ++c) out.at(r, c) += bv.at(0, c);
+    const int rows = xv.rows(), cols = xv.cols();
+    Tensor out = make(rows, cols);
+    k::add_bias(rows, cols, xv.data(), bv.data(), out.data());
     return push(std::move(out), [x, bias](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
-        t.grad_buf(x).add_inplace(g);
-        Tensor& bg = t.grad_buf(bias);
-        for (int r = 0; r < g.rows(); ++r)
-            for (int c = 0; c < g.cols(); ++c) bg.at(0, c) += g.at(r, c);
+        k::add_bias_backward(g.rows(), g.cols(), g.data(),
+                             t.grad_buf(x).data(),
+                             t.grad_buf(bias).data());
+    });
+}
+
+int Tape::add_bias_relu(int x, int bias) {
+    const Tensor& xv = value(x);
+    const Tensor& bv = value(bias);
+    if (bv.rows() != 1 || bv.cols() != xv.cols())
+        throw std::invalid_argument("Tape::add_bias: bias shape");
+    Tensor out = make(xv.rows(), xv.cols());
+    k::add_bias_relu(xv.rows(), xv.cols(), xv.data(), bv.data(), out.data());
+    return push(std::move(out), [x, bias](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        const Tensor& y = t.value(self);
+        k::add_bias_relu_backward(g.rows(), g.cols(), y.data(), g.data(),
+                                  t.grad_buf(x).data(),
+                                  t.grad_buf(bias).data());
     });
 }
 
 int Tape::relu(int x) {
-    Tensor out = value(x);
-    for (int r = 0; r < out.rows(); ++r)
-        for (int c = 0; c < out.cols(); ++c)
-            if (out.at(r, c) < 0.0f) out.at(r, c) = 0.0f;
+    const Tensor& xv = value(x);
+    Tensor out = make(xv.rows(), xv.cols());
+    k::relu_forward(xv.size(), xv.data(), out.data());
     return push(std::move(out), [x](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
         const Tensor& y = t.value(self);
-        Tensor& xg = t.grad_buf(x);
-        for (int r = 0; r < g.rows(); ++r)
-            for (int c = 0; c < g.cols(); ++c)
-                if (y.at(r, c) > 0.0f) xg.at(r, c) += g.at(r, c);
+        k::relu_backward(g.size(), y.data(), g.data(), t.grad_buf(x).data());
     });
 }
 
@@ -89,76 +153,122 @@ int Tape::dropout(int x, float p, util::Rng& rng, bool training) {
     if (!training || p <= 0.0f) return x;
     const float keep = 1.0f - p;
     const Tensor& xv = value(x);
-    auto mask = std::make_shared<std::vector<float>>(xv.size());
-    Tensor out = xv;
+    const std::size_t n = xv.size();
+    float* mask = arena_.alloc(n);
+    Tensor out = make(xv.rows(), xv.cols());
+    const float* xd = xv.data();
     float* outd = out.data();
-    for (std::size_t i = 0; i < xv.size(); ++i) {
-        (*mask)[i] = rng.next_double() < keep ? 1.0f / keep : 0.0f;
-        outd[i] *= (*mask)[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        mask[i] = rng.next_double() < keep ? 1.0f / keep : 0.0f;
+        outd[i] = xd[i] * mask[i];
     }
     return push(std::move(out), [x, mask](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
-        Tensor& xg = t.grad_buf(x);
+        float* xg = t.grad_buf(x).data();
         const float* gd = g.data();
-        float* xd = xg.data();
-        for (std::size_t i = 0; i < g.size(); ++i) xd[i] += gd[i] * (*mask)[i];
+        for (std::size_t i = 0; i < g.size(); ++i) xg[i] += gd[i] * mask[i];
     });
+}
+
+int Tape::gather_rows_impl(int x, std::span<const int> idx,
+                           std::shared_ptr<const void> keep) {
+    const Tensor& xv = value(x);
+    const int e = static_cast<int>(idx.size()), cols = xv.cols();
+    Tensor out = make(e, cols);
+    for (int r = 0; r < e; ++r)
+        std::memcpy(out.row(r), xv.row(idx[static_cast<std::size_t>(r)]),
+                    static_cast<std::size_t>(cols) * sizeof(float));
+    const int* ip = idx.data();
+    return push(std::move(out),
+                [x, ip, e, keep = std::move(keep)](Tape& t, int self) {
+                    const Tensor& g =
+                        t.nodes_[static_cast<std::size_t>(self)].grad;
+                    if (g.empty()) return;
+                    Tensor& xg = t.grad_buf(x);
+                    const std::size_t c = static_cast<std::size_t>(g.cols());
+                    for (int r = 0; r < e; ++r)
+                        k::vacc(c, g.row(r), xg.row(ip[r]));
+                });
+}
+
+int Tape::gather_rows(int x, std::span<const int> idx) {
+    return gather_rows_impl(x, idx, nullptr);
 }
 
 int Tape::gather_rows(int x, std::vector<int> idx) {
-    const Tensor& xv = value(x);
-    Tensor out(static_cast<int>(idx.size()), xv.cols());
-    for (int r = 0; r < out.rows(); ++r)
-        for (int c = 0; c < out.cols(); ++c)
-            out.at(r, c) = xv.at(idx[static_cast<std::size_t>(r)], c);
-    auto shared = std::make_shared<std::vector<int>>(std::move(idx));
-    return push(std::move(out), [x, shared](Tape& t, int self) {
-        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
-        if (g.empty()) return;
-        Tensor& xg = t.grad_buf(x);
-        for (int r = 0; r < g.rows(); ++r)
-            for (int c = 0; c < g.cols(); ++c)
-                xg.at((*shared)[static_cast<std::size_t>(r)], c) += g.at(r, c);
-    });
+    auto keep = std::make_shared<const std::vector<int>>(std::move(idx));
+    return gather_rows_impl(x, std::span<const int>(*keep), keep);
 }
 
-int Tape::scatter_add_rows(int x, std::vector<int> idx, int out_rows) {
+int Tape::scatter_add_rows_impl(int x, std::span<const int> idx, int out_rows,
+                                std::shared_ptr<const void> keep) {
     const Tensor& xv = value(x);
     if (static_cast<int>(idx.size()) != xv.rows())
         throw std::invalid_argument("Tape::scatter_add_rows: index count");
-    Tensor out(out_rows, xv.cols());
-    for (int r = 0; r < xv.rows(); ++r)
-        for (int c = 0; c < xv.cols(); ++c)
-            out.at(idx[static_cast<std::size_t>(r)], c) += xv.at(r, c);
-    auto shared = std::make_shared<std::vector<int>>(std::move(idx));
-    return push(std::move(out), [x, shared](Tape& t, int self) {
-        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
-        if (g.empty()) return;
-        Tensor& xg = t.grad_buf(x);
-        for (int r = 0; r < xg.rows(); ++r)
-            for (int c = 0; c < xg.cols(); ++c)
-                xg.at(r, c) += g.at((*shared)[static_cast<std::size_t>(r)], c);
-    });
+    const int e = xv.rows();
+    const std::size_t cols = static_cast<std::size_t>(xv.cols());
+    Tensor out = make(out_rows, xv.cols()); // arena zeroes it
+    for (int r = 0; r < e; ++r)
+        k::vacc(cols, xv.row(r), out.row(idx[static_cast<std::size_t>(r)]));
+    const int* ip = idx.data();
+    return push(std::move(out),
+                [x, ip, e, keep = std::move(keep)](Tape& t, int self) {
+                    const Tensor& g =
+                        t.nodes_[static_cast<std::size_t>(self)].grad;
+                    if (g.empty()) return;
+                    Tensor& xg = t.grad_buf(x);
+                    const std::size_t c = static_cast<std::size_t>(g.cols());
+                    for (int r = 0; r < e; ++r)
+                        k::vacc(c, g.row(ip[r]), xg.row(r));
+                });
 }
 
-int Tape::scale_rows(int x, std::vector<float> weights) {
+int Tape::scatter_add_rows(int x, std::span<const int> idx, int out_rows) {
+    return scatter_add_rows_impl(x, idx, out_rows, nullptr);
+}
+
+int Tape::scatter_add_rows(int x, std::vector<int> idx, int out_rows) {
+    auto keep = std::make_shared<const std::vector<int>>(std::move(idx));
+    return scatter_add_rows_impl(x, std::span<const int>(*keep), out_rows, keep);
+}
+
+int Tape::scale_rows_impl(int x, std::span<const float> weights,
+                          std::shared_ptr<const void> keep) {
     const Tensor& xv = value(x);
     if (static_cast<int>(weights.size()) != xv.rows())
         throw std::invalid_argument("Tape::scale_rows: weight count");
-    Tensor out = xv;
-    for (int r = 0; r < out.rows(); ++r)
-        for (int c = 0; c < out.cols(); ++c)
-            out.at(r, c) *= weights[static_cast<std::size_t>(r)];
-    auto shared = std::make_shared<std::vector<float>>(std::move(weights));
-    return push(std::move(out), [x, shared](Tape& t, int self) {
-        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
-        if (g.empty()) return;
-        Tensor& xg = t.grad_buf(x);
-        for (int r = 0; r < g.rows(); ++r)
-            for (int c = 0; c < g.cols(); ++c)
-                xg.at(r, c) += g.at(r, c) * (*shared)[static_cast<std::size_t>(r)];
-    });
+    const int rows = xv.rows(), cols = xv.cols();
+    Tensor out = make(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+        const float wr = weights[static_cast<std::size_t>(r)];
+        const float* xr = xv.row(r);
+        float* outr = out.row(r);
+        for (int c = 0; c < cols; ++c) outr[c] = xr[c] * wr;
+    }
+    const float* wp = weights.data();
+    return push(std::move(out),
+                [x, wp, keep = std::move(keep)](Tape& t, int self) {
+                    const Tensor& g =
+                        t.nodes_[static_cast<std::size_t>(self)].grad;
+                    if (g.empty()) return;
+                    Tensor& xg = t.grad_buf(x);
+                    for (int r = 0; r < g.rows(); ++r) {
+                        const float wr = wp[r];
+                        const float* gr = g.row(r);
+                        float* xr = xg.row(r);
+                        for (int c = 0; c < g.cols(); ++c) xr[c] += gr[c] * wr;
+                    }
+                });
+}
+
+int Tape::scale_rows(int x, std::span<const float> weights) {
+    return scale_rows_impl(x, weights, nullptr);
+}
+
+int Tape::scale_rows(int x, std::vector<float> weights) {
+    auto keep = std::make_shared<const std::vector<float>>(std::move(weights));
+    return scale_rows_impl(x, std::span<const float>(*keep), keep);
 }
 
 int Tape::concat_cols(int a, int b) {
@@ -166,48 +276,51 @@ int Tape::concat_cols(int a, int b) {
     const Tensor& bv = value(b);
     if (av.rows() != bv.rows())
         throw std::invalid_argument("Tape::concat_cols: row mismatch");
-    Tensor out(av.rows(), av.cols() + bv.cols());
-    for (int r = 0; r < out.rows(); ++r) {
-        for (int c = 0; c < av.cols(); ++c) out.at(r, c) = av.at(r, c);
-        for (int c = 0; c < bv.cols(); ++c) out.at(r, av.cols() + c) = bv.at(r, c);
+    const int rows = av.rows(), ac = av.cols(), bc = bv.cols();
+    Tensor out = make(rows, ac + bc);
+    for (int r = 0; r < rows; ++r) {
+        std::memcpy(out.row(r), av.row(r),
+                    static_cast<std::size_t>(ac) * sizeof(float));
+        std::memcpy(out.row(r) + ac, bv.row(r),
+                    static_cast<std::size_t>(bc) * sizeof(float));
     }
-    const int ac = av.cols();
-    return push(std::move(out), [a, b, ac](Tape& t, int self) {
+    return push(std::move(out), [a, b, ac, bc](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
         Tensor& ag = t.grad_buf(a);
         Tensor& bg = t.grad_buf(b);
         for (int r = 0; r < g.rows(); ++r) {
-            for (int c = 0; c < ag.cols(); ++c) ag.at(r, c) += g.at(r, c);
-            for (int c = 0; c < bg.cols(); ++c) bg.at(r, c) += g.at(r, ac + c);
+            k::vacc(static_cast<std::size_t>(ac), g.row(r), ag.row(r));
+            k::vacc(static_cast<std::size_t>(bc), g.row(r) + ac, bg.row(r));
         }
     });
 }
 
 int Tape::sum_rows(int x) {
     const Tensor& xv = value(x);
-    Tensor out(1, xv.cols());
-    for (int r = 0; r < xv.rows(); ++r)
-        for (int c = 0; c < xv.cols(); ++c) out.at(0, c) += xv.at(r, c);
+    const std::size_t cols = static_cast<std::size_t>(xv.cols());
+    Tensor out = make(1, xv.cols());
+    for (int r = 0; r < xv.rows(); ++r) k::vacc(cols, xv.row(r), out.row(0));
     return push(std::move(out), [x](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
         Tensor& xg = t.grad_buf(x);
-        for (int r = 0; r < xg.rows(); ++r)
-            for (int c = 0; c < xg.cols(); ++c) xg.at(r, c) += g.at(0, c);
+        const std::size_t c = static_cast<std::size_t>(g.cols());
+        for (int r = 0; r < xg.rows(); ++r) k::vacc(c, g.row(0), xg.row(r));
     });
 }
 
 int Tape::scale(int x, float s) {
-    Tensor out = value(x);
-    for (int r = 0; r < out.rows(); ++r)
-        for (int c = 0; c < out.cols(); ++c) out.at(r, c) *= s;
+    const Tensor& xv = value(x);
+    Tensor out = make(xv.rows(), xv.cols());
+    const float* xd = xv.data();
+    float* outd = out.data();
+    for (std::size_t i = 0; i < xv.size(); ++i) outd[i] = xd[i] * s;
     return push(std::move(out), [x, s](Tape& t, int self) {
         const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
         if (g.empty()) return;
-        Tensor& xg = t.grad_buf(x);
+        float* xd = t.grad_buf(x).data();
         const float* gd = g.data();
-        float* xd = xg.data();
         for (std::size_t i = 0; i < g.size(); ++i) xd[i] += gd[i] * s;
     });
 }
@@ -224,7 +337,7 @@ int Tape::mape_loss(const std::vector<int>& preds,
             throw std::invalid_argument("Tape::mape_loss: zero target");
         loss += std::abs(p - y) / std::abs(y);
     }
-    Tensor out(1, 1);
+    Tensor out = make(1, 1);
     out.at(0, 0) = static_cast<float>(loss / static_cast<double>(preds.size()));
     auto ps = std::make_shared<std::vector<int>>(preds);
     auto ts = std::make_shared<std::vector<float>>(targets);

@@ -1,0 +1,290 @@
+#include "nn/kernels_cpu.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "nn/kernels_cpu_isa.hpp"
+#include "util/env.hpp"
+
+namespace powergear::nn::kernels {
+
+namespace {
+
+std::size_t row(int r, int stride) {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(stride);
+}
+
+// memset on a null pointer is UB even for zero bytes, and empty shapes hand
+// us exactly that (data() of an empty buffer) — so guard the count.
+void zero_fill(float* p, std::size_t count) {
+    if (count != 0) std::memset(p, 0, count * sizeof(float));
+}
+
+// --- reference kernels -------------------------------------------------------
+// Byte-for-byte the pre-kernel-layer tensor.cpp loops (including the
+// skip-zero fast path), templated only on overwrite-vs-accumulate. This
+// translation unit is compiled at the baseline ISA with default FP flags,
+// so the oracle's results match the original implementation on every host.
+
+template <bool Acc>
+void matmul_ref_impl(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+    if (!Acc) zero_fill(c, row(m, n));
+    for (int i = 0; i < m; ++i) {
+        float* crow = c + row(i, n);
+        const float* arow = a + row(i, k);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = b + row(p, n);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+template <bool Acc>
+void matmul_tn_ref_impl(int m, int k, int n, const float* a, const float* b,
+                        float* c) {
+    if (!Acc) zero_fill(c, row(k, n));
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + row(i, k);
+        const float* brow = b + row(i, n);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* crow = c + row(p, n);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+template <bool Acc>
+void matmul_nt_ref_impl(int m, int k, int n, const float* a, const float* b,
+                        float* c) {
+    for (int i = 0; i < m; ++i) {
+        const float* arow = a + row(i, k);
+        float* crow = c + row(i, n);
+        for (int j = 0; j < n; ++j) {
+            const float* brow = b + row(j, k);
+            float acc = 0.0f;
+            for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            if (Acc) crow[j] += acc;
+            else crow[j] = acc;
+        }
+    }
+}
+
+template <bool Acc>
+void gather_matmul_ref_impl(int e, int k, int n, const float* x,
+                            const int* idx, const float* w, float* out) {
+    if (!Acc) zero_fill(out, row(e, n));
+    for (int i = 0; i < e; ++i) {
+        float* crow = out + row(i, n);
+        const float* arow = x + row(idx[i], k);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            const float* brow = w + row(p, n);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+// --- backend resolution ------------------------------------------------------
+
+Backend parse_backend(const std::string& name) {
+    if (name == "ref") return Backend::Ref;
+    if (name == "blocked") return Backend::Blocked;
+    throw std::invalid_argument(
+        "POWERGEAR_KERNEL: unknown backend '" + name +
+        "' (expected 'ref' or 'blocked')");
+}
+
+Backend& backend_slot() {
+    static Backend b =
+        parse_backend(util::env_string("POWERGEAR_KERNEL", "blocked"));
+    return b;
+}
+
+bool blocked() { return backend() == Backend::Blocked; }
+
+/// ISA table, picked once at load time: the AVX2+FMA translation unit when
+/// the host CPU has it, the baseline one otherwise. Selection depends only
+/// on CPUID, never on other static state, so a namespace-scope initializer
+/// is safe and keeps the per-call cost to one pointer load (no thread-safe
+/// static guard on a path hit millions of times per epoch).
+const BlockedOps& pick_ops() {
+#if defined(__x86_64__)
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return blocked_ops_avx2();
+#endif
+    return blocked_ops_generic();
+}
+
+const BlockedOps& g_ops = pick_ops();
+
+const BlockedOps& ops() { return g_ops; }
+
+} // namespace
+
+Backend backend() { return backend_slot(); }
+void set_backend(Backend b) { backend_slot() = b; }
+
+const char* backend_name(Backend b) {
+    return b == Backend::Ref ? "ref" : "blocked";
+}
+
+// --- dispatched (overwrite) --------------------------------------------------
+
+void matmul(int m, int k, int n, const float* a, const float* b, float* c) {
+    if (blocked()) ops().matmul(m, k, n, a, b, c);
+    else matmul_ref_impl<false>(m, k, n, a, b, c);
+}
+
+void matmul_tn(int m, int k, int n, const float* a, const float* b, float* c) {
+    if (blocked()) ops().matmul_tn(m, k, n, a, b, c);
+    else matmul_tn_ref_impl<false>(m, k, n, a, b, c);
+}
+
+void matmul_nt(int m, int k, int n, const float* a, const float* b, float* c) {
+    if (blocked()) ops().matmul_nt(m, k, n, a, b, c);
+    else matmul_nt_ref_impl<false>(m, k, n, a, b, c);
+}
+
+void gather_matmul(int e, int k, int n, const float* x, const int* idx,
+                   const float* w, float* out) {
+    if (blocked()) ops().gather_matmul(e, k, n, x, idx, w, out);
+    else gather_matmul_ref_impl<false>(e, k, n, x, idx, w, out);
+}
+
+// --- dispatched (accumulate) -------------------------------------------------
+
+void matmul_acc(int m, int k, int n, const float* a, const float* b, float* c) {
+    if (blocked()) ops().matmul_acc(m, k, n, a, b, c);
+    else matmul_ref_impl<true>(m, k, n, a, b, c);
+}
+
+void matmul_tn_acc(int m, int k, int n, const float* a, const float* b,
+                   float* c) {
+    if (blocked()) ops().matmul_tn_acc(m, k, n, a, b, c);
+    else matmul_tn_ref_impl<true>(m, k, n, a, b, c);
+}
+
+void matmul_nt_acc(int m, int k, int n, const float* a, const float* b,
+                   float* c) {
+    if (blocked()) ops().matmul_nt_acc(m, k, n, a, b, c);
+    else matmul_nt_ref_impl<true>(m, k, n, a, b, c);
+}
+
+void gather_matmul_tn_acc(int e, int k, int n, const float* x, const int* idx,
+                          const float* g, float* dw) {
+    if (blocked()) {
+        ops().gather_matmul_tn_acc(e, k, n, x, idx, g, dw);
+    } else {
+        for (int r = 0; r < e; ++r) {
+            const float* xrow = x + row(idx[r], k);
+            const float* grow = g + row(r, n);
+            for (int p = 0; p < k; ++p) {
+                const float xv = xrow[p];
+                if (xv == 0.0f) continue;
+                float* dwrow = dw + row(p, n);
+                for (int j = 0; j < n; ++j) dwrow[j] += xv * grow[j];
+            }
+        }
+    }
+}
+
+void scatter_matmul_nt_acc(int e, int k, int n, const float* g, const float* w,
+                           const int* idx, float* dx) {
+    if (blocked()) {
+        ops().scatter_matmul_nt_acc(e, k, n, g, w, idx, dx);
+    } else {
+        for (int r = 0; r < e; ++r) {
+            const float* grow = g + row(r, n);
+            float* drow = dx + row(idx[r], k);
+            for (int p = 0; p < k; ++p) {
+                const float* wrow = w + row(p, n);
+                float acc = 0.0f;
+                for (int j = 0; j < n; ++j) acc += grow[j] * wrow[j];
+                drow[p] += acc;
+            }
+        }
+    }
+}
+
+// --- fixed-backend entry points ----------------------------------------------
+
+void matmul_ref(int m, int k, int n, const float* a, const float* b, float* c) {
+    matmul_ref_impl<false>(m, k, n, a, b, c);
+}
+void matmul_blocked(int m, int k, int n, const float* a, const float* b,
+                    float* c) {
+    ops().matmul(m, k, n, a, b, c);
+}
+void matmul_tn_ref(int m, int k, int n, const float* a, const float* b,
+                   float* c) {
+    matmul_tn_ref_impl<false>(m, k, n, a, b, c);
+}
+void matmul_tn_blocked(int m, int k, int n, const float* a, const float* b,
+                       float* c) {
+    ops().matmul_tn(m, k, n, a, b, c);
+}
+void matmul_nt_ref(int m, int k, int n, const float* a, const float* b,
+                   float* c) {
+    matmul_nt_ref_impl<false>(m, k, n, a, b, c);
+}
+void matmul_nt_blocked(int m, int k, int n, const float* a, const float* b,
+                       float* c) {
+    ops().matmul_nt(m, k, n, a, b, c);
+}
+void gather_matmul_ref(int e, int k, int n, const float* x, const int* idx,
+                       const float* w, float* out) {
+    gather_matmul_ref_impl<false>(e, k, n, x, idx, w, out);
+}
+void gather_matmul_blocked(int e, int k, int n, const float* x, const int* idx,
+                           const float* w, float* out) {
+    ops().gather_matmul(e, k, n, x, idx, w, out);
+}
+
+// --- fused elementwise epilogues ---------------------------------------------
+// Backend-independent in results (pure adds/compares, identical in every
+// translation unit); routed through the ISA table purely for vector width.
+
+void add_bias(int rows, int cols, const float* x, const float* bias,
+              float* y) {
+    ops().add_bias(rows, cols, x, bias, y);
+}
+
+void add_bias_backward(int rows, int cols, const float* g, float* dx,
+                       float* dbias) {
+    ops().add_bias_backward(rows, cols, g, dx, dbias);
+}
+
+void add_bias_relu(int rows, int cols, const float* x, const float* bias,
+                   float* y) {
+    ops().add_bias_relu(rows, cols, x, bias, y);
+}
+
+void add_bias_relu_backward(int rows, int cols, const float* y, const float* g,
+                            float* dx, float* dbias) {
+    ops().add_bias_relu_backward(rows, cols, y, g, dx, dbias);
+}
+
+void relu_forward(std::size_t n, const float* x, float* y) {
+    ops().relu_forward(n, x, y);
+}
+
+void relu_backward(std::size_t n, const float* y, const float* g, float* dx) {
+    ops().relu_backward(n, y, g, dx);
+}
+
+void vadd(std::size_t n, const float* a, const float* b, float* out) {
+    ops().vadd(n, a, b, out);
+}
+
+void vacc(std::size_t n, const float* src, float* dst) {
+    ops().vacc(n, src, dst);
+}
+
+} // namespace powergear::nn::kernels

@@ -1,0 +1,8 @@
+// Blocked kernels compiled with -mavx2 -mfma (flags set in src/CMakeLists.txt,
+// x86-64 builds only). Selected at runtime by kernels_cpu.cpp when the host
+// CPU reports AVX2+FMA support, so the binary stays runnable on older x86-64
+// machines — they fall back to kernels_cpu_generic.cpp.
+#if defined(__x86_64__)
+#define PG_BLOCKED_OPS_FACTORY blocked_ops_avx2
+#include "nn/kernels_cpu_tiles.inl"
+#endif

@@ -1,0 +1,5 @@
+// Blocked kernels at the build's baseline ISA (no extra codegen flags).
+// This translation unit always exists, so dispatch has a portable fallback
+// on hosts without AVX2 and on non-x86 targets.
+#define PG_BLOCKED_OPS_FACTORY blocked_ops_generic
+#include "nn/kernels_cpu_tiles.inl"

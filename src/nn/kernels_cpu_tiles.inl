@@ -1,0 +1,442 @@
+// Blocked (cache/register-tiled) kernel implementations, shared between the
+// per-ISA translation units. The including .cpp must define
+// PG_BLOCKED_OPS_FACTORY to the factory name it exports (see
+// kernels_cpu_isa.hpp) before including this file; everything else here has
+// internal linkage, so the two copies never collide at link time.
+//
+// Determinism contract: every kernel reduces in a fixed order (ascending
+// reduction index, independent accumulator per output element) and never
+// touches the thread pool, so results are bit-identical at any
+// POWERGEAR_JOBS value for a given translation unit.
+
+#ifndef PG_BLOCKED_OPS_FACTORY
+#error "define PG_BLOCKED_OPS_FACTORY before including kernels_cpu_tiles.inl"
+#endif
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "nn/kernels_cpu_isa.hpp"
+
+#define PG_RESTRICT __restrict__
+
+namespace powergear::nn::kernels {
+
+namespace {
+
+// Micro-tile geometry: 4 output rows x 16 output columns. 16 floats span two
+// AVX2 registers (or four SSE registers), and a fixed-trip-count inner loop
+// is what lets -O3 vectorize without any reassociation: every acc[r][j] is
+// its own accumulator chain, summed over the reduction index in ascending
+// order, so the result is deterministic for a given backend.
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+
+std::size_t row(int r, int stride) {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(stride);
+}
+
+// memset on a null pointer is UB even for zero bytes, and empty shapes hand
+// us exactly that (data() of an empty buffer) — so guard the count.
+void zero_fill(float* p, std::size_t count) {
+    if (count != 0) std::memset(p, 0, count * sizeof(float));
+}
+
+/// One 4x16 register tile of C(m,n) = A-rows · B(k,n). The four A rows are
+/// supplied as pointers so the plain and gathered variants share the kernel.
+/// Reduction order per element: ascending p, same as the reference kernel.
+template <bool Acc>
+void tile_4x16(int k, int n, const float* PG_RESTRICT a0,
+               const float* PG_RESTRICT a1, const float* PG_RESTRICT a2,
+               const float* PG_RESTRICT a3, const float* PG_RESTRICT b,
+               int j0, float* PG_RESTRICT c0, float* PG_RESTRICT c1,
+               float* PG_RESTRICT c2, float* PG_RESTRICT c3) {
+    float acc0[kNr], acc1[kNr], acc2[kNr], acc3[kNr];
+    for (int j = 0; j < kNr; ++j) {
+        acc0[j] = Acc ? c0[j0 + j] : 0.0f;
+        acc1[j] = Acc ? c1[j0 + j] : 0.0f;
+        acc2[j] = Acc ? c2[j0 + j] : 0.0f;
+        acc3[j] = Acc ? c3[j0 + j] : 0.0f;
+    }
+    for (int p = 0; p < k; ++p) {
+        const float* PG_RESTRICT bp = b + row(p, n) + j0;
+        const float a0p = a0[p], a1p = a1[p], a2p = a2[p], a3p = a3[p];
+        for (int j = 0; j < kNr; ++j) {
+            acc0[j] += a0p * bp[j];
+            acc1[j] += a1p * bp[j];
+            acc2[j] += a2p * bp[j];
+            acc3[j] += a3p * bp[j];
+        }
+    }
+    for (int j = 0; j < kNr; ++j) {
+        c0[j0 + j] = acc0[j];
+        c1[j0 + j] = acc1[j];
+        c2[j0 + j] = acc2[j];
+        c3[j0 + j] = acc3[j];
+    }
+}
+
+/// Single-row fallback for row/column tails: C-row[j0..j0+nb) over nb <= 16.
+template <bool Acc>
+void tile_1xn(int k, int n, int nb, const float* PG_RESTRICT a,
+              const float* PG_RESTRICT b, int j0, float* PG_RESTRICT c) {
+    float acc[kNr] = {};
+    if (Acc)
+        for (int j = 0; j < nb; ++j) acc[j] = c[j0 + j];
+    for (int p = 0; p < k; ++p) {
+        const float* PG_RESTRICT bp = b + row(p, n) + j0;
+        const float ap = a[p];
+        for (int j = 0; j < nb; ++j) acc[j] += ap * bp[j];
+    }
+    for (int j = 0; j < nb; ++j) c[j0 + j] = acc[j];
+}
+
+/// Shared tiling driver: row pointers are supplied by callables so the plain
+/// and gathered variants use the same loop nest. Full 4x16 tiles cover the
+/// bulk; row and column remainders fall back to the single-row kernel.
+template <bool Acc, typename RowPtr, typename OutPtr>
+void matmul_tiles(int m, int k, int n, const float* PG_RESTRICT b, RowPtr arow,
+                  OutPtr crow) {
+    const int jfull = (n / kNr) * kNr;
+    int i = 0;
+    for (; i + kMr <= m; i += kMr) {
+        for (int j0 = 0; j0 < jfull; j0 += kNr)
+            tile_4x16<Acc>(k, n, arow(i), arow(i + 1), arow(i + 2), arow(i + 3),
+                           b, j0, crow(i), crow(i + 1), crow(i + 2),
+                           crow(i + 3));
+        if (jfull < n)
+            for (int r = 0; r < kMr; ++r)
+                tile_1xn<Acc>(k, n, n - jfull, arow(i + r), b, jfull,
+                              crow(i + r));
+    }
+    for (; i < m; ++i)
+        for (int j0 = 0; j0 < n; j0 += kNr)
+            tile_1xn<Acc>(k, n, std::min(kNr, n - j0), arow(i), b, j0, crow(i));
+}
+
+// --- sparsity-aware path -----------------------------------------------------
+// One-hot-heavy node features and post-ReLU activations make many A operands
+// mostly exact zeros. The register tiles above cannot skip a zero A value
+// (its product still burns an FMA slot), but an axpy-formulated multiply can
+// skip the whole B row. Per output element both formulations sum over p in
+// ascending order — the axpy path merely never adds the exactly-zero terms —
+// so the choice between them is made per call from a deterministic scan of
+// A's zero fraction without breaking run-to-run bit-identity.
+
+/// True when at least half of len values are exactly 0.0f — the break-even
+/// point where skipped B rows pay for axpy's extra C-row store traffic.
+bool mostly_zero(const float* PG_RESTRICT a, std::size_t len) {
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < len; ++i) zeros += a[i] == 0.0f ? 1u : 0u;
+    return 2 * zeros >= len;
+}
+
+template <bool Acc, typename RowPtr>
+void matmul_axpy(int m, int k, int n, const float* PG_RESTRICT b, RowPtr arow,
+                 float* PG_RESTRICT c) {
+    if (!Acc) zero_fill(c, row(m, n));
+    for (int i = 0; i < m; ++i) {
+        float* PG_RESTRICT crow = c + row(i, n);
+        const float* PG_RESTRICT ar = arow(i);
+        for (int p = 0; p < k; ++p) {
+            const float av = ar[p];
+            if (av == 0.0f) continue;
+            const float* PG_RESTRICT brow = b + row(p, n);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+template <bool Acc>
+void matmul_blocked_impl(int m, int k, int n, const float* PG_RESTRICT a,
+                         const float* PG_RESTRICT b, float* PG_RESTRICT c) {
+    if (mostly_zero(a, row(m, k))) {
+        matmul_axpy<Acc>(m, k, n, b, [=](int i) { return a + row(i, k); }, c);
+        return;
+    }
+    matmul_tiles<Acc>(
+        m, k, n, b, [=](int i) { return a + row(i, k); },
+        [=](int i) { return c + row(i, n); });
+}
+
+template <bool Acc>
+void gather_matmul_blocked_impl(int e, int k, int n, const float* PG_RESTRICT x,
+                                const int* PG_RESTRICT idx,
+                                const float* PG_RESTRICT w,
+                                float* PG_RESTRICT out) {
+    // The zero scan reads the gathered rows, not all of x, so the decision
+    // matches exactly the values the multiply will touch.
+    std::size_t zeros = 0;
+    for (int i = 0; i < e; ++i) {
+        const float* PG_RESTRICT xr = x + row(idx[i], k);
+        for (int p = 0; p < k; ++p) zeros += xr[p] == 0.0f ? 1u : 0u;
+    }
+    if (2 * zeros >= row(e, k)) {
+        matmul_axpy<Acc>(e, k, n, w, [=](int i) { return x + row(idx[i], k); },
+                         out);
+        return;
+    }
+    matmul_tiles<Acc>(
+        e, k, n, w, [=](int i) { return x + row(idx[i], k); },
+        [=](int i) { return out + row(i, n); });
+}
+
+/// 4x16 tile of C(k,n) = A(m,k)ᵀ · B(m,n): C rows p0..p0+3, reduction over
+/// the m rows of A/B in ascending order (same order as the reference).
+template <bool Acc>
+void tn_tile_4x16(int m, int k, int n, const float* PG_RESTRICT a,
+                  const float* PG_RESTRICT b, int p0, int j0,
+                  float* PG_RESTRICT c) {
+    float acc0[kNr], acc1[kNr], acc2[kNr], acc3[kNr];
+    for (int j = 0; j < kNr; ++j) {
+        acc0[j] = Acc ? c[row(p0 + 0, n) + j0 + j] : 0.0f;
+        acc1[j] = Acc ? c[row(p0 + 1, n) + j0 + j] : 0.0f;
+        acc2[j] = Acc ? c[row(p0 + 2, n) + j0 + j] : 0.0f;
+        acc3[j] = Acc ? c[row(p0 + 3, n) + j0 + j] : 0.0f;
+    }
+    for (int i = 0; i < m; ++i) {
+        const float* PG_RESTRICT ai = a + row(i, k) + p0;
+        const float* PG_RESTRICT bi = b + row(i, n) + j0;
+        const float a0 = ai[0], a1 = ai[1], a2 = ai[2], a3 = ai[3];
+        for (int j = 0; j < kNr; ++j) {
+            acc0[j] += a0 * bi[j];
+            acc1[j] += a1 * bi[j];
+            acc2[j] += a2 * bi[j];
+            acc3[j] += a3 * bi[j];
+        }
+    }
+    for (int j = 0; j < kNr; ++j) {
+        c[row(p0 + 0, n) + j0 + j] = acc0[j];
+        c[row(p0 + 1, n) + j0 + j] = acc1[j];
+        c[row(p0 + 2, n) + j0 + j] = acc2[j];
+        c[row(p0 + 3, n) + j0 + j] = acc3[j];
+    }
+}
+
+/// Axpy formulation of the tn product with the zero-skip, for ReLU-sparse
+/// activations (the A operand of every weight-gradient product). Reduction
+/// order per element is ascending i, matching the tiled variant.
+template <bool Acc>
+void matmul_tn_axpy(int m, int k, int n, const float* PG_RESTRICT a,
+                    const float* PG_RESTRICT b, float* PG_RESTRICT c) {
+    if (!Acc) zero_fill(c, row(k, n));
+    for (int i = 0; i < m; ++i) {
+        const float* PG_RESTRICT arow = a + row(i, k);
+        const float* PG_RESTRICT brow = b + row(i, n);
+        for (int p = 0; p < k; ++p) {
+            const float av = arow[p];
+            if (av == 0.0f) continue;
+            float* PG_RESTRICT crow = c + row(p, n);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+    }
+}
+
+template <bool Acc>
+void matmul_tn_blocked_impl(int m, int k, int n, const float* PG_RESTRICT a,
+                            const float* PG_RESTRICT b, float* PG_RESTRICT c) {
+    if (mostly_zero(a, row(m, k))) {
+        matmul_tn_axpy<Acc>(m, k, n, a, b, c);
+        return;
+    }
+    for (int j0 = 0; j0 < n; j0 += kNr) {
+        const int nb = std::min(kNr, n - j0);
+        int p = 0;
+        if (nb == kNr) {
+            for (; p + kMr <= k; p += kMr)
+                tn_tile_4x16<Acc>(m, k, n, a, b, p, j0, c);
+        }
+        for (; p < k; ++p) {
+            float acc[kNr] = {};
+            if (Acc)
+                for (int j = 0; j < nb; ++j) acc[j] = c[row(p, n) + j0 + j];
+            for (int i = 0; i < m; ++i) {
+                const float ap = a[row(i, k) + p];
+                const float* PG_RESTRICT bi = b + row(i, n) + j0;
+                for (int j = 0; j < nb; ++j) acc[j] += ap * bi[j];
+            }
+            for (int j = 0; j < nb; ++j) c[row(p, n) + j0 + j] = acc[j];
+        }
+    }
+}
+
+/// Per-thread scratch for transposed operands. A dot-product formulation of
+/// the ᵀ-on-the-right products cannot vectorize under strict FP (the single
+/// accumulator is a serial chain), so instead the transposed operand is
+/// materialized once — O(n·k) against the O(m·n·k) multiply — and the
+/// contiguous tiled kernels run on it.
+std::vector<float>& transpose_scratch() {
+    thread_local std::vector<float> s;
+    return s;
+}
+
+/// out(ncols,nrows) <- in(nrows,ncols)ᵀ.
+void transpose_into(int nrows, int ncols, const float* PG_RESTRICT in,
+                    float* PG_RESTRICT out) {
+    for (int r = 0; r < nrows; ++r)
+        for (int c = 0; c < ncols; ++c)
+            out[row(c, nrows) + r] = in[row(r, ncols) + c];
+}
+
+template <bool Acc>
+void matmul_nt_blocked_impl(int m, int k, int n, const float* PG_RESTRICT a,
+                            const float* PG_RESTRICT b, float* PG_RESTRICT c) {
+    std::vector<float>& s = transpose_scratch();
+    s.resize(row(k, n));
+    transpose_into(n, k, b, s.data());
+    matmul_blocked_impl<Acc>(m, k, n, a, s.data(), c);
+}
+
+void gather_matmul_tn_acc_impl(int e, int k, int n, const float* PG_RESTRICT x,
+                               const int* PG_RESTRICT idx,
+                               const float* PG_RESTRICT g,
+                               float* PG_RESTRICT dw) {
+    // dw[p][j] += Σ_r x[idx[r]][p] * g[r][j]: the tn shape with gathered A
+    // rows. Reduction over r ascending, matching the reference.
+    for (int j0 = 0; j0 < n; j0 += kNr) {
+        const int nb = std::min(kNr, n - j0);
+        for (int p = 0; p < k; ++p) {
+            float acc[kNr] = {};
+            for (int j = 0; j < nb; ++j) acc[j] = dw[row(p, n) + j0 + j];
+            for (int r = 0; r < e; ++r) {
+                const float xv = x[row(idx[r], k) + p];
+                const float* PG_RESTRICT gr = g + row(r, n) + j0;
+                for (int j = 0; j < nb; ++j) acc[j] += xv * gr[j];
+            }
+            for (int j = 0; j < nb; ++j) dw[row(p, n) + j0 + j] = acc[j];
+        }
+    }
+}
+
+void scatter_matmul_nt_acc_impl(int e, int k, int n, const float* PG_RESTRICT g,
+                                const float* PG_RESTRICT w,
+                                const int* PG_RESTRICT idx,
+                                float* PG_RESTRICT dx) {
+    // dx[idx[r]][p] += Σ_j g[r][j] * w[p][j]: one nt-shaped row product per
+    // edge, accumulated into the destination row (rows may repeat, so the
+    // r-loop stays sequential — deterministic at any job count). With w
+    // transposed, each edge is a vector-times-matrix accumulate over
+    // contiguous rows, vectorized across p with no horizontal sums.
+    // ReLU-sparse gradients make the g[r][j] == 0 skip pay for itself
+    // (same fast path the reference kernels take on their a values).
+    std::vector<float>& s = transpose_scratch();
+    s.resize(row(n, k));
+    transpose_into(k, n, w, s.data());
+    const float* PG_RESTRICT wt = s.data();
+    for (int r = 0; r < e; ++r) {
+        const float* PG_RESTRICT grow = g + row(r, n);
+        float* PG_RESTRICT drow = dx + row(idx[r], k);
+        for (int j = 0; j < n; ++j) {
+            const float gv = grow[j];
+            if (gv == 0.0f) continue;
+            const float* PG_RESTRICT wrow = wt + row(j, k);
+            for (int p = 0; p < k; ++p) drow[p] += gv * wrow[p];
+        }
+    }
+}
+
+// --- elementwise epilogues ---------------------------------------------------
+// Pure adds/compares over contiguous rows; see kernels_cpu_isa.hpp for why
+// these are ISA-invariant and can ride the dispatch table.
+
+void add_bias_impl(int rows, int cols, const float* PG_RESTRICT x,
+                   const float* PG_RESTRICT bias, float* PG_RESTRICT y) {
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT xr = x + row(r, cols);
+        float* PG_RESTRICT yr = y + row(r, cols);
+        for (int c = 0; c < cols; ++c) yr[c] = xr[c] + bias[c];
+    }
+}
+
+void add_bias_backward_impl(int rows, int cols, const float* PG_RESTRICT g,
+                            float* PG_RESTRICT dx, float* PG_RESTRICT dbias) {
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT gr = g + row(r, cols);
+        float* PG_RESTRICT dxr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) {
+            dxr[c] += gr[c];
+            dbias[c] += gr[c];
+        }
+    }
+}
+
+void add_bias_relu_impl(int rows, int cols, const float* PG_RESTRICT x,
+                        const float* PG_RESTRICT bias, float* PG_RESTRICT y) {
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT xr = x + row(r, cols);
+        float* PG_RESTRICT yr = y + row(r, cols);
+        for (int c = 0; c < cols; ++c) {
+            const float v = xr[c] + bias[c];
+            yr[c] = v > 0.0f ? v : 0.0f;
+        }
+    }
+}
+
+void add_bias_relu_backward_impl(int rows, int cols,
+                                 const float* PG_RESTRICT y,
+                                 const float* PG_RESTRICT g,
+                                 float* PG_RESTRICT dx,
+                                 float* PG_RESTRICT dbias) {
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT yr = y + row(r, cols);
+        const float* PG_RESTRICT gr = g + row(r, cols);
+        float* PG_RESTRICT dxr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) {
+            const float gv = yr[c] > 0.0f ? gr[c] : 0.0f;
+            dxr[c] += gv;
+            dbias[c] += gv;
+        }
+    }
+}
+
+void relu_forward_impl(std::size_t n, const float* PG_RESTRICT x,
+                       float* PG_RESTRICT y) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void relu_backward_impl(std::size_t n, const float* PG_RESTRICT y,
+                        const float* PG_RESTRICT g, float* PG_RESTRICT dx) {
+    for (std::size_t i = 0; i < n; ++i)
+        if (y[i] > 0.0f) dx[i] += g[i];
+}
+
+void vadd_impl(std::size_t n, const float* PG_RESTRICT a,
+               const float* PG_RESTRICT b, float* PG_RESTRICT out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void vacc_impl(std::size_t n, const float* PG_RESTRICT src,
+               float* PG_RESTRICT dst) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+} // namespace
+
+const BlockedOps& PG_BLOCKED_OPS_FACTORY() {
+    static constexpr BlockedOps ops = {
+        &matmul_blocked_impl<false>,
+        &matmul_blocked_impl<true>,
+        &matmul_tn_blocked_impl<false>,
+        &matmul_tn_blocked_impl<true>,
+        &matmul_nt_blocked_impl<false>,
+        &matmul_nt_blocked_impl<true>,
+        &gather_matmul_blocked_impl<false>,
+        &gather_matmul_tn_acc_impl,
+        &scatter_matmul_nt_acc_impl,
+        &add_bias_impl,
+        &add_bias_backward_impl,
+        &add_bias_relu_impl,
+        &add_bias_relu_backward_impl,
+        &relu_forward_impl,
+        &relu_backward_impl,
+        &vadd_impl,
+        &vacc_impl,
+    };
+    return ops;
+}
+
+} // namespace powergear::nn::kernels
+
+#undef PG_RESTRICT
+#undef PG_BLOCKED_OPS_FACTORY

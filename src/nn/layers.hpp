@@ -19,6 +19,11 @@ struct Linear {
         return t.add_bias(t.matmul(x, t.param(&weight)), t.param(&bias));
     }
 
+    /// relu(xW + b) via the fused bias+relu node (one epilogue pass each way).
+    int forward_relu(Tape& t, int x) {
+        return t.add_bias_relu(t.matmul(x, t.param(&weight)), t.param(&bias));
+    }
+
     void collect(std::vector<Param*>& out) {
         out.push_back(&weight);
         out.push_back(&bias);
@@ -33,7 +38,7 @@ struct Mlp2 {
     Mlp2(int in, int hidden, int out, util::Rng& rng)
         : fc1(in, hidden, rng), fc2(hidden, out, rng) {}
 
-    int forward(Tape& t, int x) { return fc2.forward(t, t.relu(fc1.forward(t, x))); }
+    int forward(Tape& t, int x) { return fc2.forward(t, fc1.forward_relu(t, x)); }
 
     void collect(std::vector<Param*>& out) {
         fc1.collect(out);

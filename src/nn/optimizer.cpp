@@ -14,19 +14,30 @@ void Adam::zero_grad() {
 
 void Adam::step() {
     ++t_;
-    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    // All per-element arithmetic is single-precision with the per-step
+    // scalars hoisted out of the loop: the loop body is then straight-line
+    // float math (sqrtf/div vectorize exactly, no reassociation needed),
+    // which matters because the step touches every parameter.
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    const float c1 = 1.0f - b1;
+    const float c2 = 1.0f - b2;
+    const float inv_bc1 = static_cast<float>(
+        1.0 / (1.0 - std::pow(beta1_, static_cast<double>(t_))));
+    const float inv_bc2 = static_cast<float>(
+        1.0 / (1.0 - std::pow(beta2_, static_cast<double>(t_))));
+    const float lr = static_cast<float>(lr_);
+    const float eps = static_cast<float>(eps_);
     for (Param* p : params_) {
-        float* w = p->w.data();
-        const float* g = p->g.data();
-        float* m = p->m.data();
-        float* v = p->v.data();
-        for (std::size_t i = 0; i < p->w.size(); ++i) {
-            m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g[i]);
-            v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g[i] * g[i]);
-            const double mh = m[i] / bc1;
-            const double vh = v[i] / bc2;
-            w[i] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+        float* __restrict__ w = p->w.data();
+        const float* __restrict__ g = p->g.data();
+        float* __restrict__ m = p->m.data();
+        float* __restrict__ v = p->v.data();
+        const std::size_t size = p->w.size();
+        for (std::size_t i = 0; i < size; ++i) {
+            m[i] = b1 * m[i] + c1 * g[i];
+            v[i] = b2 * v[i] + c2 * g[i] * g[i];
+            w[i] -= lr * (m[i] * inv_bc1) / (std::sqrt(v[i] * inv_bc2) + eps);
         }
     }
 }

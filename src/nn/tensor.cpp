@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "nn/kernels_cpu.hpp"
 
 namespace powergear::nn {
 
@@ -11,14 +14,63 @@ Tensor::Tensor(int rows, int cols, float fill)
     if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
 }
 
+Tensor::Tensor(const Tensor& o) : rows_(o.rows_), cols_(o.cols_) {
+    // Copying a view materializes owned storage — snapshots of arena- or
+    // param-backed tensors must survive the storage they were viewing.
+    if (o.ext_) data_.assign(o.ext_, o.ext_ + o.size());
+    else data_ = o.data_;
+}
+
+Tensor& Tensor::operator=(const Tensor& o) {
+    if (this == &o) return *this;
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    ext_ = nullptr;
+    if (o.ext_) data_.assign(o.ext_, o.ext_ + o.size());
+    else data_ = o.data_;
+    return *this;
+}
+
+Tensor::Tensor(Tensor&& o) noexcept
+    : rows_(o.rows_), cols_(o.cols_), data_(std::move(o.data_)), ext_(o.ext_) {
+    o.rows_ = 0;
+    o.cols_ = 0;
+    o.ext_ = nullptr;
+    o.data_.clear();
+}
+
+Tensor& Tensor::operator=(Tensor&& o) noexcept {
+    if (this == &o) return *this;
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_ = std::move(o.data_);
+    ext_ = o.ext_;
+    o.rows_ = 0;
+    o.cols_ = 0;
+    o.ext_ = nullptr;
+    o.data_.clear();
+    return *this;
+}
+
+Tensor Tensor::borrowed(int rows, int cols, float* storage) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor: negative shape");
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.ext_ = storage;
+    return t;
+}
+
 void Tensor::fill(float v) {
-    for (auto& x : data_) x = v;
+    float* d = data();
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) d[i] = v;
 }
 
 void Tensor::add_inplace(const Tensor& o) {
     if (o.rows_ != rows_ || o.cols_ != cols_)
         throw std::invalid_argument("Tensor::add_inplace: shape mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    kernels::vacc(size(), o.data(), data());
 }
 
 Tensor Tensor::xavier(int rows, int cols, util::Rng& rng) {
@@ -39,51 +91,21 @@ Tensor Tensor::from(int rows, int cols, std::vector<float> values) {
 Tensor matmul(const Tensor& a, const Tensor& b) {
     if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim");
     Tensor c(a.rows(), b.cols());
-    const int m = a.rows(), k = a.cols(), n = b.cols();
-    for (int i = 0; i < m; ++i) {
-        float* crow = c.row(i);
-        const float* arow = a.row(i);
-        for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            const float* brow = b.row(p);
-            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
+    kernels::matmul(a.rows(), a.cols(), b.cols(), a.data(), b.data(), c.data());
     return c;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: outer dim");
     Tensor c(a.cols(), b.cols());
-    const int m = a.rows(), k = a.cols(), n = b.cols();
-    for (int i = 0; i < m; ++i) {
-        const float* arow = a.row(i);
-        const float* brow = b.row(i);
-        for (int p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* crow = c.row(p);
-            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-    }
+    kernels::matmul_tn(a.rows(), a.cols(), b.cols(), a.data(), b.data(), c.data());
     return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: inner dim");
     Tensor c(a.rows(), b.rows());
-    const int m = a.rows(), k = a.cols(), n = b.rows();
-    for (int i = 0; i < m; ++i) {
-        const float* arow = a.row(i);
-        float* crow = c.row(i);
-        for (int j = 0; j < n; ++j) {
-            const float* brow = b.row(j);
-            float acc = 0.0f;
-            for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-            crow[j] = acc;
-        }
-    }
+    kernels::matmul_nt(a.rows(), a.cols(), b.rows(), a.data(), b.data(), c.data());
     return c;
 }
 

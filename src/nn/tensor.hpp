@@ -1,6 +1,12 @@
 // Dense 2-D float tensor with the handful of BLAS-ish kernels the GNN stack
 // needs. Row-major, value semantics, no broadcasting magic — shapes are
 // checked and mismatches throw.
+//
+// Storage is either owned (a std::vector, the default) or borrowed
+// (Tensor::borrowed wraps caller-managed memory, e.g. a Tape's arena or a
+// Param's weights). Borrowed tensors are views: copying one deep-copies into
+// owned storage, moving one transfers the view, and the borrowed memory must
+// outlive every read through the view.
 #pragma once
 
 #include <vector>
@@ -14,42 +20,57 @@ public:
     Tensor() = default;
     Tensor(int rows, int cols, float fill = 0.0f);
 
+    Tensor(const Tensor& o);
+    Tensor& operator=(const Tensor& o);
+    Tensor(Tensor&& o) noexcept;
+    Tensor& operator=(Tensor&& o) noexcept;
+    ~Tensor() = default;
+
+    /// View over caller-owned storage of rows*cols floats (not freed here).
+    static Tensor borrowed(int rows, int cols, float* storage);
+    bool is_view() const { return ext_ != nullptr; }
+
     int rows() const { return rows_; }
     int cols() const { return cols_; }
-    std::size_t size() const { return data_.size(); }
-    bool empty() const { return data_.empty(); }
+    std::size_t size() const {
+        return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+    }
+    bool empty() const { return size() == 0; }
 
     float& at(int r, int c) {
-        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
-                     static_cast<std::size_t>(c)];
+        return data()[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                      static_cast<std::size_t>(c)];
     }
     float at(int r, int c) const {
-        return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
-                     static_cast<std::size_t>(c)];
+        return data()[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                      static_cast<std::size_t>(c)];
     }
     float* row(int r) {
-        return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+        return data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
     }
     const float* row(int r) const {
-        return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+        return data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
     }
-    float* data() { return data_.data(); }
-    const float* data() const { return data_.data(); }
+    float* data() { return ext_ ? ext_ : data_.data(); }
+    const float* data() const { return ext_ ? ext_ : data_.data(); }
 
     void fill(float v);
     void add_inplace(const Tensor& o); ///< this += o (same shape)
 
     /// Glorot/Xavier-uniform initialization.
     static Tensor xavier(int rows, int cols, util::Rng& rng);
-    /// Build from explicit values (row-major), for tests.
+    /// Build from explicit values (row-major), for tests. Takes the vector
+    /// by value and moves it into storage — pass an rvalue to avoid a copy.
     static Tensor from(int rows, int cols, std::vector<float> values);
 
 private:
     int rows_ = 0;
     int cols_ = 0;
     std::vector<float> data_;
+    float* ext_ = nullptr; ///< borrowed storage; data_ unused when set
 };
 
+// Value-semantics wrappers over nn::kernels (dispatched on POWERGEAR_KERNEL).
 /// C = A(m,k) * B(k,n)
 Tensor matmul(const Tensor& a, const Tensor& b);
 /// C = A^T(m,k)->(k,m) * B(m,n)  (used for weight gradients)

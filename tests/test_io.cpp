@@ -23,6 +23,7 @@
 #include "obs/report.hpp"
 #include "sim/stimulus.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 using namespace powergear;
 
@@ -419,4 +420,144 @@ TEST(PipelineCache, CorruptSampleArtifactFallsBackToRecompute) {
     ASSERT_EQ(warm.size(), cold.size());
     for (std::size_t i = 0; i < cold.samples.size(); ++i)
         expect_samples_bitexact(cold.samples[i], warm.samples[i]);
+}
+
+// --- golden artifacts --------------------------------------------------------
+// Committed files in tests/golden/ pin the powergear-art-v1 on-disk format.
+// If framing or a stage codec drifts, these fail loudly instead of silently
+// invalidating every existing cache/model file. Regenerate (after an
+// *intentional* format bump, alongside a payload-version bump) with:
+//   POWERGEAR_REGEN_GOLDEN=1 build/tests/powergear_tests --gtest_filter='GoldenArtifacts.*'
+
+namespace {
+
+std::string golden_path(const std::string& name) {
+    return std::string(POWERGEAR_GOLDEN_DIR) + "/" + name;
+}
+
+gnn::Ensemble train_golden_ensemble(const dataset::Dataset& ds) {
+    std::vector<const gnn::GraphTensors*> graphs;
+    std::vector<float> targets;
+    for (const dataset::Sample& s : ds.samples) {
+        graphs.push_back(&s.tensors);
+        targets.push_back(static_cast<float>(s.total_power_w));
+    }
+    gnn::EnsembleConfig cfg;
+    cfg.model.node_dim = ds.samples[0].tensors.x.cols();
+    cfg.model.hidden = 4;
+    cfg.model.layers = 1;
+    cfg.folds = 1;
+    cfg.seeds = 2;
+    cfg.epochs = 2;
+    cfg.batch_size = 4;
+    gnn::Ensemble e;
+    e.fit(graphs, targets, cfg);
+    return e;
+}
+
+} // namespace
+
+TEST(GoldenArtifacts, RegenerateWhenRequested) {
+    if (std::getenv("POWERGEAR_REGEN_GOLDEN") == nullptr)
+        GTEST_SKIP() << "set POWERGEAR_REGEN_GOLDEN=1 to rewrite tests/golden";
+    fs::create_directories(POWERGEAR_GOLDEN_DIR);
+    const dataset::Dataset ds = dataset::generate_dataset("gemm", quick_opts(4));
+    io::save_sample_file(golden_path("sample-v1.art"), ds.samples[0]);
+    io::save_ensemble_file(golden_path("ensemble-v1.art"),
+                           train_golden_ensemble(ds));
+}
+
+TEST(GoldenArtifacts, SampleV1StillLoadsBitExactly) {
+    const auto file = io::read_file(golden_path("sample-v1.art"));
+    ASSERT_TRUE(file.has_value()) << "missing committed golden sample";
+    io::ArtifactInfo info;
+    const std::vector<std::uint8_t> payload =
+        io::unframe(*file, io::kStageSample, io::kSamplePayloadVersion, &info);
+    EXPECT_EQ(info.checksum, io::fnv1a(payload.data(), payload.size()));
+
+    const dataset::Sample s = io::decode_sample(payload);
+    EXPECT_EQ(s.kernel, "gemm");
+    EXPECT_GT(s.total_power_w, 0.0);
+    EXPECT_GT(s.graph.num_nodes, 0);
+    EXPECT_EQ(s.tensors.num_nodes, s.graph.num_nodes);
+
+    // The encoder must reproduce the committed payload byte-for-byte —
+    // decode/encode drift would silently re-key every content-addressed cache.
+    EXPECT_EQ(io::encode_sample(s), payload);
+}
+
+TEST(GoldenArtifacts, EnsembleV1StillLoadsBitExactly) {
+    const auto file = io::read_file(golden_path("ensemble-v1.art"));
+    ASSERT_TRUE(file.has_value()) << "missing committed golden ensemble";
+    io::ArtifactInfo info;
+    const std::vector<std::uint8_t> payload =
+        io::unframe(*file, io::kStageModel, io::kModelPayloadVersion, &info);
+
+    const gnn::Ensemble e = io::decode_ensemble(payload);
+    EXPECT_EQ(e.num_members(), 2);
+    for (gnn::PowerModel* m : e.members()) {
+        EXPECT_EQ(m->config().hidden, 4);
+        EXPECT_EQ(m->config().layers, 1);
+    }
+    EXPECT_EQ(io::encode_ensemble(e), payload);
+}
+
+// --- seeded byte-flip fuzzing ------------------------------------------------
+
+TEST(ArtifactFuzz, SingleByteFlipsAlwaysRejectCleanly) {
+    const dataset::Dataset ds = dataset::generate_dataset("gemm", quick_opts(1));
+    const std::vector<std::uint8_t> payload = io::encode_sample(ds.samples[0]);
+    const std::vector<std::uint8_t> file =
+        io::frame(io::kStageSample, io::kSamplePayloadVersion, payload);
+    ASSERT_GT(file.size(), io::kHeaderSize);
+
+    util::Rng rng(0xF1A5);
+    for (int i = 0; i < 500; ++i) {
+        // First sweep every header byte (each field has its own diagnostic),
+        // then random payload positions.
+        const std::size_t pos =
+            i < static_cast<int>(io::kHeaderSize)
+                ? static_cast<std::size_t>(i)
+                : io::kHeaderSize +
+                      static_cast<std::size_t>(
+                          rng.next_double() *
+                          static_cast<double>(file.size() - io::kHeaderSize));
+        const auto flip =
+            static_cast<std::uint8_t>(1 + rng.next_double() * 255.0);
+
+        std::vector<std::uint8_t> corrupt = file;
+        corrupt[pos] ^= flip;
+        bool rejected = false;
+        try {
+            const std::vector<std::uint8_t> p = io::unframe(
+                corrupt, io::kStageSample, io::kSamplePayloadVersion);
+            (void)io::decode_sample(p);
+        } catch (const std::runtime_error& e) {
+            rejected = true;
+            EXPECT_FALSE(std::string(e.what()).empty());
+        }
+        ASSERT_TRUE(rejected) << "flip 0x" << std::hex << +flip << " at byte "
+                              << std::dec << pos
+                              << " produced a successful load";
+    }
+}
+
+TEST(ArtifactFuzz, StageCodecSurvivesRawPayloadCorruption) {
+    // Bypass the frame checksum and hit decode_sample directly: corrupted
+    // payloads may decode to garbage values, but must never crash (ASan leg)
+    // and must only ever fail via a clean exception.
+    const dataset::Dataset ds = dataset::generate_dataset("atax", quick_opts(1));
+    const std::vector<std::uint8_t> payload = io::encode_sample(ds.samples[0]);
+    util::Rng rng(0xC0DEC);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<std::uint8_t> corrupt = payload;
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.next_double() * static_cast<double>(corrupt.size()));
+        corrupt[pos] ^= static_cast<std::uint8_t>(1 + rng.next_double() * 255.0);
+        try {
+            (void)io::decode_sample(corrupt);
+        } catch (const std::exception&) {
+            // Clean rejection is one of the two acceptable outcomes.
+        }
+    }
 }

@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "nn/autograd.hpp"
+#include "nn/kernels_cpu.hpp"
 #include "nn/layers.hpp"
 #include "nn/optimizer.hpp"
 
@@ -255,6 +256,127 @@ TEST(Optimizer, AdamSolvesLinearRegression) {
     }
     EXPECT_LT(last_loss, 0.25 * first_loss);
     EXPECT_NEAR(b.w.at(0, 0), 10.0f, 2.5f);
+}
+
+TEST(Tensor, FromMovesStorageWithoutCopy) {
+    std::vector<float> values = {1.0f, 2.0f, 3.0f, 4.0f};
+    const float* storage = values.data();
+    Tensor t = Tensor::from(2, 2, std::move(values));
+    EXPECT_EQ(t.data(), storage);
+    // Tensor moves transfer the buffer too (push()-friendly).
+    Tensor u = std::move(t);
+    EXPECT_EQ(u.data(), storage);
+}
+
+TEST(Tensor, BorrowedViewCopiesDeeply) {
+    float buf[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+    Tensor view = Tensor::borrowed(2, 2, buf);
+    EXPECT_TRUE(view.is_view());
+    EXPECT_EQ(view.data(), buf);
+    Tensor copy = view; // must materialize owned storage
+    EXPECT_FALSE(copy.is_view());
+    buf[0] = 99.0f;
+    EXPECT_FLOAT_EQ(view.at(0, 0), 99.0f);
+    EXPECT_FLOAT_EQ(copy.at(0, 0), 1.0f);
+}
+
+TEST(Autograd, TapeArenaGrowsOnceAcrossResets) {
+    Rng rng(67);
+    Linear lin(8, 8, rng);
+    const Tensor x = Tensor::xavier(16, 8, rng);
+    Tape t;
+    std::size_t cap_after_first = 0;
+    for (int it = 0; it < 4; ++it) {
+        t.reset();
+        const int out = to_scalar(t, lin.forward_relu(t, t.input_view(x)));
+        lin.weight.zero_grad();
+        lin.bias.zero_grad();
+        t.backward(out);
+        if (it == 0) cap_after_first = t.arena_capacity();
+    }
+    EXPECT_GT(cap_after_first, 0u);
+    EXPECT_EQ(t.arena_capacity(), cap_after_first)
+        << "steady-state batches must reuse the grown-once arena";
+}
+
+TEST(Autograd, FusedBiasReluMatchesUnfusedBitExactly) {
+    Rng rng(71);
+    Param w(Tensor::xavier(6, 5, rng));
+    Param b(Tensor::xavier(1, 5, rng));
+    const Tensor x = Tensor::xavier(9, 6, rng);
+    Tape t;
+    const int mm = t.matmul(t.input_view(x), t.param(&w));
+    const int fused = t.add_bias_relu(mm, t.param(&b));
+    const int unfused = t.relu(t.add_bias(mm, t.param(&b)));
+    for (int r = 0; r < 9; ++r)
+        for (int c = 0; c < 5; ++c)
+            EXPECT_EQ(t.value(fused).at(r, c), t.value(unfused).at(r, c));
+}
+
+// Central-difference check of the full matmul → bias → relu chain under BOTH
+// kernel backends, exercising the fused add_bias_relu backward — the one
+// place a fused-epilogue bug would hide from the forward parity tests.
+TEST(Autograd, LinearReluGradientUnderBothBackends) {
+    namespace kn = powergear::nn::kernels;
+    const kn::Backend saved = kn::backend();
+    for (const kn::Backend be : {kn::Backend::Ref, kn::Backend::Blocked}) {
+        kn::set_backend(be);
+        SCOPED_TRACE(kn::backend_name(be));
+        Rng rng(73);
+        Param w(Tensor::xavier(4, 3, rng));
+        Param b(Tensor::xavier(1, 3, rng));
+        const Tensor x = Tensor::xavier(6, 4, rng);
+
+        auto build = [&](Tape& t) {
+            return to_scalar(
+                t, t.add_bias_relu(t.matmul(t.input_view(x), t.param(&w)),
+                                   t.param(&b)));
+        };
+        auto forward = [&]() {
+            Tape t;
+            return static_cast<double>(t.value(build(t)).at(0, 0));
+        };
+        Tape t;
+        const int out = build(t);
+        w.zero_grad();
+        b.zero_grad();
+        t.backward(out);
+        check_gradient(w, forward, [&](int r, int c) { return w.g.at(r, c); });
+        check_gradient(b, forward, [&](int r, int c) { return b.g.at(r, c); });
+    }
+    kn::set_backend(saved);
+}
+
+// Same discipline for the fused gather+matmul node (HecConv's w/o-e.f. path).
+TEST(Autograd, GatherMatmulGradientUnderBothBackends) {
+    namespace kn = powergear::nn::kernels;
+    const kn::Backend saved = kn::backend();
+    const std::vector<int> idx = {0, 2, 2, 1, 3, 0};
+    for (const kn::Backend be : {kn::Backend::Ref, kn::Backend::Blocked}) {
+        kn::set_backend(be);
+        SCOPED_TRACE(kn::backend_name(be));
+        Rng rng(79);
+        Param x(Tensor::xavier(4, 3, rng));
+        Param w(Tensor::xavier(3, 5, rng));
+
+        auto build = [&](Tape& t) {
+            return to_scalar(
+                t, t.gather_matmul(t.param(&x), std::span<const int>(idx),
+                                   t.param(&w)));
+        };
+        auto forward = [&]() {
+            Tape t;
+            return static_cast<double>(t.value(build(t)).at(0, 0));
+        };
+        Tape t;
+        const int out = build(t);
+        x.zero_grad();
+        w.zero_grad();
+        t.backward(out);
+        check_gradient(x, forward, [&](int r, int c) { return x.g.at(r, c); });
+        check_gradient(w, forward, [&](int r, int c) { return w.g.at(r, c); });
+    }
+    kn::set_backend(saved);
 }
 
 TEST(Layers, SnapshotRestoreRoundTrips) {
