@@ -9,8 +9,8 @@
 # the thread-pool runtime is deterministic and safe at either extreme, and
 # once more under POWERGEAR_KERNEL=ref so the reference NN kernel oracle
 # stays green alongside the default blocked backend.
-# Finishes with a `powergear lint` sweep over every built-in Polybench
-# kernel (must report zero diagnostics).
+# Finishes with a `powergear lint --all` sweep over every built-in kernel
+# (paper + extended; must report zero diagnostics, exit 0).
 #
 # Each flavor is built by scripts/build_one.sh — the same entry point
 # .github/workflows/ci.yml uses, so local and CI builds cannot drift apart.
@@ -70,8 +70,11 @@ echo "=== [kernel=ref] ctest (POWERGEAR_KERNEL=ref) ==="
 (cd build-check-release &&
     POWERGEAR_KERNEL=ref ctest --output-on-failure -j "$JOBS")
 
-echo "=== lint: all Polybench kernels must be diagnostic-free ==="
-./build-check-release/tools/powergear lint
+echo "=== lint: every built-in kernel must be diagnostic-free ==="
+# --all sweeps the paper's nine kernels plus the extended set through the
+# full checker stack (IR, dataflow DF001-004, schedule, graph, tensor);
+# any Error-severity diagnostic makes the CLI exit nonzero — same leg CI runs.
+./build-check-release/tools/powergear lint --all
 
 echo "=== bench gate: no perf regression vs bench/baseline.json ==="
 python3 scripts/bench_gate.py --baseline bench/baseline.json \

@@ -37,6 +37,14 @@ Report lint_kernel(const ir::Function& fn, const LintOptions& opts) {
     out.set_context(fn.name);
     if (!out.clean()) return out; // downstream passes assume verified IR
 
+    // Dataflow checkers (DF001-003) need only a structurally valid function.
+    {
+        Report df = check_dataflow(fn);
+        df.set_context(fn.name);
+        out.merge(df);
+        if (!out.clean()) return out; // don't simulate a proven-broken kernel
+    }
+
     // One trace per kernel, shared across design points (as in generation).
     sim::Interpreter interp(fn);
     sim::StimulusProfile stim;
@@ -49,6 +57,14 @@ Report lint_kernel(const ir::Function& fn, const LintOptions& opts) {
     const hls::Binding base_bind = hls::bind(fn, base_elab, base_sched);
     const hls::HlsReport base_report =
         hls::make_report(fn, base_elab, base_sched, base_bind);
+
+    // DF004: cross-check the scheduler's recurrence analysis against the
+    // IR-side dataflow derivation on the baseline elaboration.
+    {
+        Report recur = check_recurrence(fn, base_elab);
+        recur.set_context(fn.name);
+        out.merge(recur);
+    }
 
     const hls::DesignSpace space(fn);
     for (const hls::Directives& dirs : space.sample(opts.design_points)) {

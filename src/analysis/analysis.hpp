@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "analysis/df_check.hpp"
 #include "analysis/diagnostic.hpp"
 #include "analysis/graph_check.hpp"
 #include "analysis/ir_lint.hpp"

@@ -1,0 +1,206 @@
+#include "analysis/dataflow/dependence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "hls/oplib.hpp"
+
+namespace powergear::analysis::dataflow {
+
+int DependenceResult::loop_mii(int loop) const {
+    int mii = 1;
+    for (const LoopDependence& d : deps)
+        if (d.loop == loop) mii = std::max(mii, d.mii);
+    return mii;
+}
+
+int instr_latency(const ir::Function& fn, int instr) {
+    const ir::Instr& in = fn.instr(instr);
+    if ((in.op == ir::Opcode::Load || in.op == ir::Opcode::Store) &&
+        in.array >= 0 &&
+        fn.arrays[static_cast<std::size_t>(in.array)].is_register())
+        return 0;
+    return hls::characterize(in.op, in.bitwidth).latency;
+}
+
+namespace {
+
+bool is_register_array(const ir::Function& fn, int array) {
+    return array >= 0 &&
+           fn.arrays[static_cast<std::size_t>(array)].is_register();
+}
+
+/// Affine classification of an index expression: c, iv, or iv ± c.
+struct Affine {
+    bool ok = false;
+    int iv = -1;         ///< IndVar instruction id (-1 = pure constant)
+    std::int64_t c = 0;  ///< additive constant
+};
+
+Affine classify(const ir::Function& fn, int id) {
+    const ir::Instr& in = fn.instr(id);
+    switch (in.op) {
+        case ir::Opcode::Const: return {true, -1, in.imm};
+        case ir::Opcode::IndVar: return {true, id, 0};
+        case ir::Opcode::Add: {
+            const Affine a = classify(fn, in.operands[0]);
+            const Affine b = classify(fn, in.operands[1]);
+            if (!a.ok || !b.ok) return {};
+            if (a.iv >= 0 && b.iv >= 0) return {}; // iv + iv: not unit-stride
+            return {true, a.iv >= 0 ? a.iv : b.iv, a.c + b.c};
+        }
+        case ir::Opcode::Sub: {
+            const Affine a = classify(fn, in.operands[0]);
+            const Affine b = classify(fn, in.operands[1]);
+            if (!a.ok || !b.ok || b.iv >= 0) return {}; // only x - const
+            return {true, a.iv, a.c - b.c};
+        }
+        default: return {};
+    }
+}
+
+/// True when the value of instruction `id` (transitively) depends on the
+/// induction variable `ivid`.
+bool depends_on(const ir::Function& fn, int id, int ivid) {
+    if (id == ivid) return true;
+    for (int p : fn.instr(id).operands)
+        if (depends_on(fn, p, ivid)) return true;
+    return false;
+}
+
+/// Distance derivation for one store/load pair w.r.t. induction variable
+/// `ivid`. Returns true with `distance >= 1` on a proven loop-carried
+/// dependence; false when the pair is disjoint or unprovable.
+bool carried_distance(const ir::Function& fn, const ir::Instr& store_gep,
+                      const ir::Instr& load_gep, int ivid,
+                      std::int64_t& distance) {
+    const std::size_t dims =
+        std::min(store_gep.operands.size(), load_gep.operands.size());
+    bool have_d = false;
+    std::int64_t d = 0;
+    for (std::size_t k = 0; k < dims; ++k) {
+        const int si = store_gep.operands[k];
+        const int li = load_gep.operands[k];
+        if (si == li) {
+            // Identical expression on both sides. If it varies with this
+            // loop's iv the pair touches a different element each iteration
+            // (distance 0 in this dimension); if it is loop-invariant they
+            // alias every iteration; if it varies unprovably, give up.
+            const Affine sa = classify(fn, si);
+            if (sa.ok && sa.iv == ivid) {
+                if (have_d && d != 0) return false;
+                d = 0;
+                have_d = true;
+            } else if (!sa.ok && depends_on(fn, si, ivid)) {
+                return false;
+            }
+            continue;
+        }
+        const Affine sa = classify(fn, si);
+        const Affine la = classify(fn, li);
+        if (!sa.ok || !la.ok) return false; // unprovable index
+        if (sa.iv == ivid && la.iv == ivid) {
+            const std::int64_t dk = sa.c - la.c;
+            if (have_d && dk != d) return false; // inconsistent distances
+            d = dk;
+            have_d = true;
+        } else if (sa.iv == la.iv) {
+            // Same outer iv (or both constant): equal offsets alias every
+            // iteration of this loop, different offsets never do.
+            if (sa.c != la.c) return false;
+        } else {
+            return false; // mixed iv/constant: aliasing varies, unprovable
+        }
+    }
+    // No dimension depends on this loop's iv: same element every iteration.
+    distance = have_d ? d : 1;
+    return distance >= 1;
+}
+
+/// Longest-latency SSA path from `load` to each instruction of the region,
+/// mirroring the propagation loop of hls::recurrence_mii. Returns the path
+/// latency into `store` (dist[store] + lat(store)), or -1 when the stored
+/// value does not depend on the load.
+int cycle_latency(const ir::Function& fn, const std::vector<int>& region,
+                  int load, int store) {
+    std::map<int, int> dist;
+    dist[load] = 0;
+    for (int id : region) {
+        if (id == load) continue;
+        const ir::Instr& in = fn.instr(id);
+        int best = -1;
+        for (int p : in.operands) {
+            auto it = dist.find(p);
+            if (it != dist.end())
+                best = std::max(best, it->second + instr_latency(fn, p));
+        }
+        if (best >= 0) dist[id] = best;
+    }
+    auto it = dist.find(store);
+    if (it == dist.end() || store == load) return -1;
+    return it->second + instr_latency(fn, store);
+}
+
+} // namespace
+
+DependenceResult compute_dependences(const ir::Function& fn) {
+    DependenceResult r;
+    for (int l : fn.innermost_loops()) {
+        const std::vector<int> region = fn.region_instrs(l);
+        const int ivid = fn.loop(l).indvar;
+        for (int s : region) {
+            const ir::Instr& st = fn.instr(s);
+            if (st.op != ir::Opcode::Store || is_register_array(fn, st.array))
+                continue;
+            for (int ld : region) {
+                const ir::Instr& lo = fn.instr(ld);
+                if (lo.op != ir::Opcode::Load || lo.array != st.array)
+                    continue;
+                std::int64_t d = 0;
+                if (!carried_distance(fn, fn.instr(st.operands[0]),
+                                      fn.instr(lo.operands[0]), ivid, d))
+                    continue;
+                const int lat = cycle_latency(fn, region, ld, s);
+                if (lat < 0) continue; // no compute cycle through the pair
+                LoopDependence dep;
+                dep.loop = l;
+                dep.array = st.array;
+                dep.store = s;
+                dep.load = ld;
+                dep.distance = static_cast<int>(d);
+                dep.latency = lat;
+                dep.mii = static_cast<int>((lat + d - 1) / d);
+                r.deps.push_back(dep);
+            }
+        }
+    }
+    return r;
+}
+
+int register_recurrence_mii(const ir::Function& fn, int loop) {
+    // Mirrors hls::recurrence_mii instruction for instruction, but walks the
+    // IR region directly instead of the elaborated op graph.
+    const std::vector<int> region = fn.region_instrs(loop);
+    std::map<int, int> dist;
+    int mii = 1;
+    for (int id : region) {
+        const ir::Instr& in = fn.instr(id);
+        int best = -1;
+        for (int p : in.operands) {
+            if (fn.instr(p).parent_loop != in.parent_loop) continue;
+            auto it = dist.find(p);
+            if (it != dist.end())
+                best = std::max(best, it->second + instr_latency(fn, p));
+        }
+        if (in.op == ir::Opcode::Load && is_register_array(fn, in.array))
+            best = std::max(best, 0);
+        if (best >= 0) {
+            dist[id] = best;
+            if (in.op == ir::Opcode::Store && is_register_array(fn, in.array))
+                mii = std::max(mii, best + instr_latency(fn, id));
+        }
+    }
+    return std::max(1, mii);
+}
+
+} // namespace powergear::analysis::dataflow

@@ -1,0 +1,59 @@
+// Memory-dependence analysis: per-array loop-carried dependence distances.
+//
+// For each innermost loop this pass pairs array stores with array loads of
+// the same array in the loop body, extracts affine index expressions
+// (constant, induction variable, or iv ± c) and derives the loop-carried
+// dependence distance d: a store writing A[i + cs] feeds a load of
+// A[i + cl] exactly d = cs - cl iterations later. Store and load of a
+// provably identical loop-invariant element give d = 1. Anything not
+// provably affine is skipped — the pass under-approximates, reporting only
+// dependences it can prove, so its derived MII is a sound lower bound to
+// cross-check the scheduler against (DF004) without false alarms.
+//
+// The same file hosts `register_recurrence_mii`, an IR-side mirror of
+// `hls::recurrence_mii` computed without elaborating the design — the
+// independent oracle half of the DF004 contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace powergear::analysis::dataflow {
+
+/// One proven loop-carried memory dependence in an innermost loop.
+struct LoopDependence {
+    int loop = -1;       ///< innermost loop carrying the dependence
+    int array = -1;      ///< ArrayDecl index
+    int store = -1;      ///< store instruction id (source)
+    int load = -1;       ///< load instruction id (sink)
+    int distance = 1;    ///< iterations between write and read (>= 1)
+    int latency = 0;     ///< longest SSA path load -> store, in cycles
+    int mii = 1;         ///< ceil(latency / distance)
+};
+
+struct DependenceResult {
+    std::vector<LoopDependence> deps;
+
+    /// Largest dependence-implied MII for `loop` (1 when none proven).
+    int loop_mii(int loop) const;
+};
+
+/// Prove loop-carried array dependences in every innermost loop of `fn`.
+/// Only dependences with an SSA path from the load to the stored value are
+/// reported — those are the compute cycles that bound a pipeline's II.
+DependenceResult compute_dependences(const ir::Function& fn);
+
+/// Scheduling latency of one IR instruction: scalar-register accesses are
+/// forwarded (0 cycles), everything else is the oplib characterization —
+/// the IR-side equivalent of `hls::sched_latency`.
+int instr_latency(const ir::Function& fn, int instr);
+
+/// IR-side mirror of `hls::recurrence_mii` for one loop: the longest
+/// latency SSA path from a scalar-register load to a store of a register,
+/// over the loop's direct instructions. Computed straight from the IR so it
+/// can disagree with (and thereby check) the scheduler's elaborated answer.
+int register_recurrence_mii(const ir::Function& fn, int loop);
+
+} // namespace powergear::analysis::dataflow

@@ -1,0 +1,203 @@
+#include "analysis/dataflow/interval.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace powergear::analysis::dataflow {
+
+std::int64_t Interval::max_value(int bitwidth) {
+    const int bw = std::clamp(bitwidth, 1, 32);
+    return (std::int64_t{1} << bw) - 1;
+}
+
+Interval Interval::full(int bitwidth) { return {0, max_value(bitwidth)}; }
+
+bool Interval::hull(const Interval& o) {
+    if (o.empty()) return false;
+    if (empty()) {
+        *this = o;
+        return true;
+    }
+    bool changed = false;
+    if (o.lo < lo) { lo = o.lo; changed = true; }
+    if (o.hi > hi) { hi = o.hi; changed = true; }
+    return changed;
+}
+
+namespace {
+
+/// Keep the exact math range when it fits the width range, else the value
+/// may have wrapped under the simulator's modular semantics: go full.
+Interval fit(std::int64_t lo, std::int64_t hi, int bitwidth) {
+    if (lo >= 0 && hi <= Interval::max_value(bitwidth)) return {lo, hi};
+    return Interval::full(bitwidth);
+}
+
+} // namespace
+
+Interval interval_add(const Interval& a, const Interval& b, int bitwidth) {
+    if (a.empty() || b.empty()) return {};
+    return fit(a.lo + b.lo, a.hi + b.hi, bitwidth);
+}
+
+Interval interval_sub(const Interval& a, const Interval& b, int bitwidth) {
+    if (a.empty() || b.empty()) return {};
+    return fit(a.lo - b.hi, a.hi - b.lo, bitwidth);
+}
+
+Interval interval_mul(const Interval& a, const Interval& b, int bitwidth) {
+    if (a.empty() || b.empty()) return {};
+    // Operands are unsigned (non-negative), so endpoint products bound the
+    // result; guard the int64 product itself against overflow.
+    if (a.hi > 0 && b.hi > INT64_MAX / a.hi) return Interval::full(bitwidth);
+    return fit(a.lo * b.lo, a.hi * b.hi, bitwidth);
+}
+
+namespace {
+
+/// Analysis state: one interval per ArrayDecl slot; only scalar-register
+/// slots carry information (BRAM arrays are not tracked flow-sensitively).
+struct IntervalAnalysis {
+    using State = std::vector<Interval>;
+
+    const ir::Function& fn;
+    const ir::Cfg& cfg;
+    std::vector<Interval> values; ///< per-instr result hull across all visits
+
+    IntervalAnalysis(const ir::Function& f, const ir::Cfg& c) : fn(f), cfg(c) {
+        values.assign(fn.instrs.size(), Interval{});
+    }
+
+    State initial() { return State(fn.arrays.size(), Interval{}); }
+
+    State boundary() {
+        // Register contents at function entry are unknown.
+        State s(fn.arrays.size(), Interval{});
+        for (std::size_t a = 0; a < fn.arrays.size(); ++a)
+            if (fn.arrays[a].is_register())
+                s[a] = Interval::full(fn.arrays[a].bitwidth);
+        return s;
+    }
+
+    bool join(State& into, const State& from) {
+        bool changed = false;
+        for (std::size_t a = 0; a < into.size(); ++a)
+            if (into[a].hull(from[a])) changed = true;
+        return changed;
+    }
+
+    void widen(State& s) {
+        for (std::size_t a = 0; a < s.size(); ++a)
+            if (!s[a].empty()) s[a] = Interval::full(fn.arrays[a].bitwidth);
+    }
+
+    State transfer(int block, const State& in) {
+        State s = in;
+        // Flow-sensitive values computed this visit; operands defined in
+        // earlier blocks fall back to the accumulated `values` hull.
+        std::unordered_map<int, Interval> local;
+        auto opv = [&](int id) -> Interval {
+            auto it = local.find(id);
+            return it != local.end() ? it->second
+                                     : values[static_cast<std::size_t>(id)];
+        };
+        for (int id : cfg.block(block).instrs) {
+            const ir::Instr& in_ = fn.instr(id);
+            const int bw = in_.bitwidth;
+            Interval v;
+            switch (in_.op) {
+                case ir::Opcode::Const:
+                    v = Interval::point(static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(in_.imm) &
+                        static_cast<std::uint64_t>(Interval::max_value(bw))));
+                    break;
+                case ir::Opcode::IndVar: {
+                    const int l = in_.parent_loop;
+                    if (l >= 0 && fn.loop(l).indvar == id)
+                        v = fit(0, fn.loop(l).trip_count - 1, bw);
+                    else
+                        v = Interval::full(bw);
+                    break;
+                }
+                case ir::Opcode::Add:
+                    v = interval_add(opv(in_.operands[0]), opv(in_.operands[1]), bw);
+                    break;
+                case ir::Opcode::Sub:
+                    v = interval_sub(opv(in_.operands[0]), opv(in_.operands[1]), bw);
+                    break;
+                case ir::Opcode::Mul:
+                    v = interval_mul(opv(in_.operands[0]), opv(in_.operands[1]), bw);
+                    break;
+                case ir::Opcode::ICmp:
+                    v = Interval::range(0, 1);
+                    break;
+                case ir::Opcode::Select: {
+                    v = opv(in_.operands[1]);
+                    v.hull(opv(in_.operands[2]));
+                    break;
+                }
+                case ir::Opcode::Trunc: {
+                    const Interval src = opv(in_.operands[0]);
+                    v = src.empty() || src.hi > Interval::max_value(bw)
+                            ? (src.empty() ? Interval{} : Interval::full(bw))
+                            : src;
+                    break;
+                }
+                case ir::Opcode::ZExt: {
+                    const Interval src = opv(in_.operands[0]);
+                    v = src.empty() ? Interval{} : fit(src.lo, src.hi, bw);
+                    break;
+                }
+                case ir::Opcode::SExt: {
+                    const Interval src = opv(in_.operands[0]);
+                    const int src_bw = fn.instr(in_.operands[0]).bitwidth;
+                    const std::int64_t sign_bit =
+                        std::int64_t{1} << (std::clamp(src_bw, 1, 32) - 1);
+                    // Sign extension is the identity for non-negative values.
+                    v = src.empty() ? Interval{}
+                        : src.hi < sign_bit ? fit(src.lo, src.hi, bw)
+                                            : Interval::full(bw);
+                    break;
+                }
+                case ir::Opcode::Load: {
+                    const int a = in_.array;
+                    if (a >= 0 &&
+                        fn.arrays[static_cast<std::size_t>(a)].is_register())
+                        v = s[static_cast<std::size_t>(a)];
+                    else
+                        v = Interval::full(bw);
+                    break;
+                }
+                case ir::Opcode::Store: {
+                    const int a = in_.array;
+                    if (a >= 0 &&
+                        fn.arrays[static_cast<std::size_t>(a)].is_register())
+                        s[static_cast<std::size_t>(a)] = opv(in_.operands[1]);
+                    continue; // no result value
+                }
+                case ir::Opcode::Alloca:
+                case ir::Opcode::Ret:
+                    continue; // no result value
+                default:
+                    // Div/Rem/bit-ops/GEP: modelled conservatively.
+                    v = Interval::full(bw);
+            }
+            local[id] = v;
+            values[static_cast<std::size_t>(id)].hull(v);
+        }
+        return s;
+    }
+};
+
+} // namespace
+
+IntervalResult compute_intervals(const ir::Function& fn, const ir::Cfg& cfg) {
+    IntervalAnalysis a(fn, cfg);
+    const auto solved = solve(cfg, a, Direction::Forward);
+    IntervalResult r;
+    r.values = std::move(a.values);
+    r.stats = solved.stats;
+    return r;
+}
+
+} // namespace powergear::analysis::dataflow

@@ -1,0 +1,160 @@
+#include "analysis/dataflow/liveness.hpp"
+
+#include <algorithm>
+
+namespace powergear::analysis::dataflow {
+
+DefUse build_def_use(const ir::Function& fn) {
+    DefUse du;
+    du.uses.assign(fn.instrs.size(), {});
+    for (int id = 0; id < static_cast<int>(fn.instrs.size()); ++id)
+        for (int op : fn.instr(id).operands)
+            du.uses[static_cast<std::size_t>(op)].push_back(id);
+    return du;
+}
+
+namespace {
+
+bool is_register_array(const ir::Function& fn, int array) {
+    return array >= 0 &&
+           fn.arrays[static_cast<std::size_t>(array)].is_register();
+}
+
+/// Backward may-liveness over scalar-register cells. State: one flag per
+/// ArrayDecl slot (registers only). Gen = register load, kill = register
+/// store (strong update).
+struct LivenessAnalysis {
+    using State = std::vector<char>;
+
+    const ir::Function& fn;
+    const ir::Cfg& cfg;
+
+    State initial() { return State(fn.arrays.size(), 0); }
+    State boundary() { return initial(); } // nothing observable after exit
+
+    bool join(State& into, const State& from) {
+        bool changed = false;
+        for (std::size_t a = 0; a < into.size(); ++a)
+            if (from[a] && !into[a]) {
+                into[a] = 1;
+                changed = true;
+            }
+        return changed;
+    }
+
+    void widen(State&) {} // finite lattice, never needed
+
+    State transfer(int block, const State& after) {
+        State s = after;
+        const std::vector<int>& instrs = cfg.block(block).instrs;
+        for (auto it = instrs.rbegin(); it != instrs.rend(); ++it) {
+            const ir::Instr& in = fn.instr(*it);
+            if (in.op == ir::Opcode::Store && is_register_array(fn, in.array))
+                s[static_cast<std::size_t>(in.array)] = 0;
+            else if (in.op == ir::Opcode::Load &&
+                     is_register_array(fn, in.array))
+                s[static_cast<std::size_t>(in.array)] = 1;
+        }
+        return s;
+    }
+};
+
+/// Forward may-uninitialized over internal storage cells. State flag = cell
+/// may still hold garbage. Boundary: every internal cell uninitialized.
+struct UninitAnalysis {
+    using State = std::vector<char>;
+
+    const ir::Function& fn;
+    const ir::Cfg& cfg;
+
+    State initial() { return State(fn.arrays.size(), 0); }
+
+    State boundary() {
+        State s(fn.arrays.size(), 0);
+        for (std::size_t a = 0; a < fn.arrays.size(); ++a)
+            if (!fn.arrays[a].is_external) s[a] = 1;
+        return s;
+    }
+
+    bool join(State& into, const State& from) {
+        bool changed = false;
+        for (std::size_t a = 0; a < into.size(); ++a)
+            if (from[a] && !into[a]) {
+                into[a] = 1;
+                changed = true;
+            }
+        return changed;
+    }
+
+    void widen(State&) {}
+
+    State transfer(int block, const State& in) {
+        State s = in;
+        for (int id : cfg.block(block).instrs) {
+            const ir::Instr& i = fn.instr(id);
+            if (i.op == ir::Opcode::Store && i.array >= 0)
+                s[static_cast<std::size_t>(i.array)] = 0;
+        }
+        return s;
+    }
+};
+
+} // namespace
+
+LivenessResult compute_liveness(const ir::Function& fn, const ir::Cfg& cfg) {
+    LivenessAnalysis a{fn, cfg};
+    const auto solved = solve(cfg, a, Direction::Backward);
+
+    LivenessResult r;
+    r.stats = solved.stats;
+    // Backward solve: in[b] is the state at the END of block b.
+    r.live_out = solved.in;
+
+    // Replay each block backwards from its live-out set: a register store
+    // whose cell is dead right after it can never be observed.
+    for (int b = 0; b < cfg.num_blocks(); ++b) {
+        std::vector<char> live = r.live_out[static_cast<std::size_t>(b)];
+        const std::vector<int>& instrs = cfg.block(b).instrs;
+        for (auto it = instrs.rbegin(); it != instrs.rend(); ++it) {
+            const ir::Instr& in = fn.instr(*it);
+            if (in.op == ir::Opcode::Store && is_register_array(fn, in.array)) {
+                if (!live[static_cast<std::size_t>(in.array)])
+                    r.dead_stores.push_back(*it);
+                live[static_cast<std::size_t>(in.array)] = 0;
+            } else if (in.op == ir::Opcode::Load &&
+                       is_register_array(fn, in.array)) {
+                live[static_cast<std::size_t>(in.array)] = 1;
+            }
+        }
+    }
+    std::sort(r.dead_stores.begin(), r.dead_stores.end());
+    return r;
+}
+
+UninitResult compute_uninit(const ir::Function& fn, const ir::Cfg& cfg) {
+    UninitAnalysis a{fn, cfg};
+    const auto solved = solve(cfg, a, Direction::Forward);
+
+    UninitResult r;
+    r.stats = solved.stats;
+    // Replay each reachable block forwards from its in-state; loads of a
+    // may-uninitialized internal cell are the findings. Unreachable blocks
+    // are skipped — DF003 reports those as a whole instead.
+    const std::vector<bool> reach = cfg.reachable();
+    for (int b = 0; b < cfg.num_blocks(); ++b) {
+        if (!reach[static_cast<std::size_t>(b)]) continue;
+        std::vector<char> uninit = solved.in[static_cast<std::size_t>(b)];
+        for (int id : cfg.block(b).instrs) {
+            const ir::Instr& in = fn.instr(id);
+            if (in.op == ir::Opcode::Load && in.array >= 0 &&
+                uninit[static_cast<std::size_t>(in.array)])
+                r.uninit_loads.push_back(id);
+            if (in.op == ir::Opcode::Store && in.array >= 0)
+                uninit[static_cast<std::size_t>(in.array)] = 0;
+        }
+    }
+    std::sort(r.uninit_loads.begin(), r.uninit_loads.end());
+    return r;
+}
+
+} // namespace powergear::analysis::dataflow

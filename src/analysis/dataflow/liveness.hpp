@@ -1,0 +1,49 @@
+// Def-use chains, storage liveness and initialization analyses.
+//
+// Three related facilities over the CFG:
+//  * DefUse — SSA def-use chains (which instructions consume each result).
+//  * LivenessResult — backward may-liveness of scalar registers, plus the
+//    dead stores it exposes (a register store whose value can never be
+//    observed). BRAM arrays are excluded: element stores are weak updates,
+//    so "dead" cannot be concluded per-store.
+//  * UninitResult — forward may-uninitialized analysis of internal storage.
+//    Registers are killed by a store (strong update); internal arrays use
+//    the any-store-initializes heuristic (one element store marks the array
+//    initialized) — per-element tracking would flag idiomatic
+//    produce-then-consume temporaries as false positives. External arrays
+//    are function inputs and always initialized.
+#pragma once
+
+#include <vector>
+
+#include "analysis/dataflow/solver.hpp"
+#include "ir/cfg.hpp"
+
+namespace powergear::analysis::dataflow {
+
+/// SSA def-use chains: uses[i] = instructions with i as an operand.
+struct DefUse {
+    std::vector<std::vector<int>> uses;
+};
+
+DefUse build_def_use(const ir::Function& fn);
+
+struct LivenessResult {
+    /// live_out[b][a] — register array `a` may be read after block `b` ends.
+    std::vector<std::vector<char>> live_out;
+    /// Store instructions to a scalar register that is dead afterwards.
+    std::vector<int> dead_stores;
+    SolverStats stats;
+};
+
+LivenessResult compute_liveness(const ir::Function& fn, const ir::Cfg& cfg);
+
+struct UninitResult {
+    /// Load instructions that may read internal storage before any store.
+    std::vector<int> uninit_loads;
+    SolverStats stats;
+};
+
+UninitResult compute_uninit(const ir::Function& fn, const ir::Cfg& cfg);
+
+} // namespace powergear::analysis::dataflow

@@ -1,0 +1,114 @@
+// Generic worklist fixpoint solver over an ir::Cfg.
+//
+// An Analysis supplies a join-semilattice state and the four standard hooks:
+//
+//   struct MyAnalysis {
+//       using State = ...;                       // copyable lattice element
+//       State boundary();                        // state at entry (fwd) / exit (bwd)
+//       State initial();                         // bottom, for all other blocks
+//       bool join(State& into, const State& from);   // true if `into` changed
+//       State transfer(int block, const State& in);  // block transfer function
+//       void widen(State& s);                    // accelerate to a post-fixpoint
+//   };
+//
+// The solver iterates a classic worklist seeded in reverse post-order
+// (forward) or its reverse (backward) until no block's out-state changes.
+// Lattices with unbounded ascending chains (e.g. integer intervals) terminate
+// through the widening guard: once a block has been visited `widen_after`
+// times its transfer output is widened, and a hard `max_visits` cap turns a
+// still-diverging analysis into `converged = false` rather than a hang.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/cfg.hpp"
+
+namespace powergear::analysis::dataflow {
+
+enum class Direction { Forward, Backward };
+
+struct SolverStats {
+    int iterations = 0;   ///< total block visits
+    bool converged = true;
+    int widened = 0;      ///< number of widen() applications
+};
+
+template <typename Analysis>
+struct SolveResult {
+    std::vector<typename Analysis::State> in;   ///< per-block input state
+    std::vector<typename Analysis::State> out;  ///< per-block output state
+    SolverStats stats;
+};
+
+template <typename Analysis>
+SolveResult<Analysis> solve(const ir::Cfg& cfg, Analysis& a, Direction dir,
+                            int widen_after = 8, int max_visits = 64) {
+    const int n = cfg.num_blocks();
+    SolveResult<Analysis> r;
+    r.in.assign(static_cast<std::size_t>(n), a.initial());
+    r.out.assign(static_cast<std::size_t>(n), a.initial());
+
+    // Iteration order: RPO for forward, reverse RPO for backward. Blocks
+    // unreachable from entry are appended so they still get a (boundary-free)
+    // fixpoint instead of staying at bottom silently.
+    std::vector<int> order = cfg.rpo();
+    {
+        std::vector<bool> in_order(static_cast<std::size_t>(n), false);
+        for (int b : order) in_order[static_cast<std::size_t>(b)] = true;
+        for (int b = 0; b < n; ++b)
+            if (!in_order[static_cast<std::size_t>(b)]) order.push_back(b);
+    }
+    if (dir == Direction::Backward)
+        std::reverse(order.begin(), order.end());
+
+    const int start = dir == Direction::Forward ? cfg.entry : cfg.exit;
+    if (start >= 0) r.in[static_cast<std::size_t>(start)] = a.boundary();
+
+    std::vector<bool> queued(static_cast<std::size_t>(n), false);
+    std::vector<int> visits(static_cast<std::size_t>(n), 0);
+    std::vector<int> work(order.rbegin(), order.rend()); // pop_back => order
+    for (int b : work) queued[static_cast<std::size_t>(b)] = true;
+
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        queued[static_cast<std::size_t>(b)] = false;
+        const auto bi = static_cast<std::size_t>(b);
+
+        // Meet over predecessors (forward) / successors (backward).
+        const ir::CfgBlock& blk = cfg.block(b);
+        const std::vector<int>& sources =
+            dir == Direction::Forward ? blk.preds : blk.succs;
+        typename Analysis::State in_state =
+            b == start ? a.boundary() : a.initial();
+        for (int p : sources)
+            a.join(in_state, r.out[static_cast<std::size_t>(p)]);
+        r.in[bi] = in_state;
+
+        r.stats.iterations++;
+        if (++visits[bi] > max_visits) {
+            r.stats.converged = false;
+            continue; // freeze this block's out-state; drain remaining work
+        }
+
+        typename Analysis::State out_state = a.transfer(b, in_state);
+        if (visits[bi] > widen_after) {
+            a.widen(out_state);
+            r.stats.widened++;
+        }
+        // Join into the stored out-state (monotone even if transfer is not).
+        if (!a.join(r.out[bi], out_state)) continue;
+
+        const std::vector<int>& dests =
+            dir == Direction::Forward ? blk.succs : blk.preds;
+        for (int s : dests)
+            if (!queued[static_cast<std::size_t>(s)]) {
+                queued[static_cast<std::size_t>(s)] = true;
+                work.push_back(s);
+            }
+    }
+    return r;
+}
+
+} // namespace powergear::analysis::dataflow

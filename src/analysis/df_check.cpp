@@ -1,0 +1,94 @@
+#include "analysis/df_check.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/dataflow/dependence.hpp"
+#include "analysis/dataflow/interval.hpp"
+#include "analysis/dataflow/liveness.hpp"
+#include "hls/scheduler.hpp"
+#include "ir/cfg.hpp"
+
+namespace powergear::analysis {
+
+namespace df = dataflow;
+
+Report check_dataflow(const ir::Function& fn) {
+    Report out;
+    const ir::Cfg cfg = ir::build_cfg(fn);
+
+    // DF001: proven-possible out-of-bounds array index.
+    const df::IntervalResult intervals = df::compute_intervals(fn, cfg);
+    for (int id = 0; id < static_cast<int>(fn.instrs.size()); ++id) {
+        const ir::Instr& in = fn.instr(id);
+        if (in.op != ir::Opcode::GetElementPtr || in.array < 0) continue;
+        const ir::ArrayDecl& arr = fn.arrays[static_cast<std::size_t>(in.array)];
+        const std::size_t dims =
+            std::min(arr.dims.size(), in.operands.size());
+        for (std::size_t k = 0; k < dims; ++k) {
+            const df::Interval v =
+                intervals.values[static_cast<std::size_t>(in.operands[k])];
+            if (v.empty() || v.hi < arr.dims[k]) continue;
+            out.add("DF001", "instr", id,
+                    "index " + std::to_string(k) + " of array '" + arr.name +
+                        "' has range [" + std::to_string(v.lo) + ", " +
+                        std::to_string(v.hi) + "] but the extent is " +
+                        std::to_string(arr.dims[k]));
+        }
+    }
+
+    // DF002: load may observe uninitialized internal storage.
+    const df::UninitResult uninit = df::compute_uninit(fn, cfg);
+    for (int id : uninit.uninit_loads) {
+        const ir::Instr& in = fn.instr(id);
+        const ir::ArrayDecl& arr = fn.arrays[static_cast<std::size_t>(in.array)];
+        out.add("DF002", "instr", id,
+                "load of internal " +
+                    std::string(arr.is_register() ? "register '" : "array '") +
+                    arr.name + "' may execute before any store reaches it");
+    }
+
+    // DF003a: register stores whose value can never be observed.
+    const df::LivenessResult live = df::compute_liveness(fn, cfg);
+    for (int id : live.dead_stores) {
+        const ir::Instr& in = fn.instr(id);
+        const ir::ArrayDecl& arr = fn.arrays[static_cast<std::size_t>(in.array)];
+        out.add("DF003", "instr", id,
+                "dead store: register '" + arr.name +
+                    "' is overwritten or dropped before any load");
+    }
+
+    // DF003b: code the entry can never reach (e.g. detached loop bodies).
+    const std::vector<bool> reach = cfg.reachable();
+    for (int b = 0; b < cfg.num_blocks(); ++b) {
+        if (reach[static_cast<std::size_t>(b)] || cfg.block(b).instrs.empty())
+            continue;
+        out.add("DF003", "block", b,
+                "unreachable block of " +
+                    std::to_string(cfg.block(b).instrs.size()) +
+                    " instruction(s) in loop region " +
+                    std::to_string(cfg.block(b).loop));
+    }
+    return out;
+}
+
+Report check_recurrence(const ir::Function& fn, const hls::ElabGraph& elab) {
+    Report out;
+    const df::DependenceResult deps = df::compute_dependences(fn);
+    for (int l : fn.innermost_loops()) {
+        const int sched = hls::loop_recurrence_mii(fn, elab, l);
+        const int reg = df::register_recurrence_mii(fn, l);
+        const int ir_mii = std::max(reg, deps.loop_mii(l));
+        if (ir_mii == sched) continue;
+        out.add("DF004", "loop", l,
+                "dataflow-derived recurrence MII " + std::to_string(ir_mii) +
+                    " (register " + std::to_string(reg) + ", array " +
+                    std::to_string(deps.loop_mii(l)) +
+                    ") disagrees with scheduler recurrence MII " +
+                    std::to_string(sched) + " for loop '" + fn.loop(l).name +
+                    "'");
+    }
+    return out;
+}
+
+} // namespace powergear::analysis

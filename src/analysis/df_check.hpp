@@ -1,0 +1,30 @@
+// DF rule family: dataflow-derived checkers (src/analysis/dataflow).
+//
+// DF001  array index interval exceeds the declared extent        (Error)
+// DF002  load may read internal storage before any reaching def  (Error)
+// DF003  dead register store / unreachable block                 (Warning)
+// DF004  dataflow-derived MII disagrees with hls::recurrence_mii (Error)
+//
+// DF001-003 need only the function; DF004 cross-checks the scheduler's
+// recurrence analysis on an elaborated design against an independent
+// IR-side derivation (see dataflow/dependence.hpp), so it takes the elab
+// graph the scheduler actually saw.
+#pragma once
+
+#include "analysis/diagnostic.hpp"
+#include "hls/elaborate.hpp"
+#include "ir/ir.hpp"
+
+namespace powergear::analysis {
+
+/// Run the fixpoint passes (intervals, uninit, liveness, reachability) over
+/// `fn` and report DF001-DF003 findings.
+Report check_dataflow(const ir::Function& fn);
+
+/// DF004: for every innermost loop, compare the scheduler's recurrence MII
+/// on `elab` with the IR-side register recurrence + proven loop-carried
+/// array dependences. A mismatch means one of the two analyses is wrong —
+/// or the scheduler is blind to an array recurrence the solver proved.
+Report check_recurrence(const ir::Function& fn, const hls::ElabGraph& elab);
+
+} // namespace powergear::analysis

@@ -28,6 +28,15 @@ const std::vector<RuleInfo>& rule_registry() {
         {"IR004", Severity::Warning,
          "store-to-never-read: internal array is written but never loaded"},
         {"IR005", Severity::Warning, "empty loop: body has no instructions"},
+        // --- dataflow checkers (src/analysis/df_check) ---------------------
+        {"DF001", Severity::Error,
+         "array index out of bounds: index value range exceeds the declared extent"},
+        {"DF002", Severity::Error,
+         "use before def: load may read internal storage before any store reaches it"},
+        {"DF003", Severity::Warning,
+         "dead code: register store never observed, or block unreachable from entry"},
+        {"DF004", Severity::Error,
+         "recurrence MII mismatch: dataflow-derived MII disagrees with the scheduler"},
         // --- schedule validator (src/analysis/schedule_check) --------------
         {"SCHED000", Severity::Error,
          "malformed schedule: op_cycle/loop tables disagree with the design"},

@@ -1,0 +1,103 @@
+#include "analysis/sarif.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace powergear::analysis {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+    switch (s) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "none";
+}
+
+} // namespace
+
+std::string render_sarif(const Report& report) {
+    using obs::JsonValue;
+
+    JsonValue rules = JsonValue::array();
+    int index = 0;
+    std::vector<std::pair<std::string, int>> rule_index;
+    for (const RuleInfo& info : rule_registry()) {
+        JsonValue rule = JsonValue::object();
+        rule.set("id", JsonValue(info.id));
+        JsonValue desc = JsonValue::object();
+        desc.set("text", JsonValue(info.summary));
+        rule.set("shortDescription", std::move(desc));
+        JsonValue config = JsonValue::object();
+        config.set("level", JsonValue(sarif_level(info.severity)));
+        rule.set("defaultConfiguration", std::move(config));
+        rules.push_back(std::move(rule));
+        rule_index.emplace_back(info.id, index++);
+    }
+
+    JsonValue results = JsonValue::array();
+    for (const Diagnostic& d : report.diagnostics()) {
+        JsonValue res = JsonValue::object();
+        res.set("ruleId", JsonValue(d.rule));
+        for (const auto& [id, idx] : rule_index)
+            if (id == d.rule) {
+                res.set("ruleIndex", JsonValue(static_cast<std::int64_t>(idx)));
+                break;
+            }
+        res.set("level", JsonValue(sarif_level(d.severity)));
+        JsonValue message = JsonValue::object();
+        message.set("text", JsonValue(d.message));
+        res.set("message", std::move(message));
+
+        std::string fqn = d.context.empty() ? "<unknown>" : d.context;
+        if (!d.artifact.empty()) {
+            fqn += "/" + d.artifact;
+            if (d.index >= 0) fqn += "/" + std::to_string(d.index);
+        }
+        JsonValue logical = JsonValue::object();
+        logical.set("fullyQualifiedName", JsonValue(fqn));
+        JsonValue logicals = JsonValue::array();
+        logicals.push_back(std::move(logical));
+        JsonValue location = JsonValue::object();
+        location.set("logicalLocations", std::move(logicals));
+        JsonValue locations = JsonValue::array();
+        locations.push_back(std::move(location));
+        res.set("locations", std::move(locations));
+        results.push_back(std::move(res));
+    }
+
+    JsonValue driver = JsonValue::object();
+    driver.set("name", JsonValue("powergear-lint"));
+    driver.set("version", JsonValue("1.0.0"));
+    driver.set("informationUri",
+               JsonValue("https://github.com/powergear/powergear"));
+    driver.set("rules", std::move(rules));
+    JsonValue tool = JsonValue::object();
+    tool.set("driver", std::move(driver));
+
+    JsonValue run = JsonValue::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    JsonValue runs = JsonValue::array();
+    runs.push_back(std::move(run));
+
+    JsonValue doc = JsonValue::object();
+    doc.set("$schema", JsonValue("https://json.schemastore.org/sarif-2.1.0.json"));
+    doc.set("version", JsonValue("2.1.0"));
+    doc.set("runs", std::move(runs));
+    return doc.dump(2);
+}
+
+bool write_sarif(const Report& report, const std::string& path) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << render_sarif(report) << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace powergear::analysis

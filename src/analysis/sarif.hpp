@@ -1,0 +1,23 @@
+// SARIF 2.1.0 rendering of a lint Report.
+//
+// Static Analysis Results Interchange Format, the schema GitHub code
+// scanning (and most SARIF viewers) ingest: one run, the rule registry as
+// the tool's rule table, one result per diagnostic. Our findings locate
+// inside IR/schedule/graph artifacts rather than source files, so results
+// carry logicalLocations ("<context>/<artifact>/<index>") instead of
+// physical file/region locations.
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.hpp"
+
+namespace powergear::analysis {
+
+/// Serialize `report` as a pretty-printed SARIF 2.1.0 document.
+std::string render_sarif(const Report& report);
+
+/// Write render_sarif(report) to `path`; false on I/O failure.
+bool write_sarif(const Report& report, const std::string& path);
+
+} // namespace powergear::analysis

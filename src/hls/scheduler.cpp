@@ -71,6 +71,12 @@ int recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
     return std::max(1, mii);
 }
 
+int loop_recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
+                        int loop) {
+    const RegionIndex idx = build_region_index(fn, elab);
+    return recurrence_mii(fn, elab, idx.ops_of(loop), idx.preds);
+}
+
 int resource_mii(const ir::Function& fn, const ElabGraph& elab,
                  const std::vector<int>& member_ops) {
     std::map<std::pair<int, int>, int> per_bank;

@@ -67,6 +67,13 @@ struct RegionIndex {
 
 RegionIndex build_region_index(const ir::Function& fn, const ElabGraph& elab);
 
+/// Recurrence MII of one loop on an elaborated design — the exact value the
+/// scheduler would use when pipelining `loop`. Exposed so the dataflow
+/// cross-checker (analysis::check_recurrence, rule DF004) can compare it
+/// against an independently derived IR-side answer.
+int loop_recurrence_mii(const ir::Function& fn, const ElabGraph& elab,
+                        int loop);
+
 /// Loop-carried recurrence bound on II: longest SSA path (in scheduling
 /// latency) from a scalar-register load to a store of the same register.
 int recurrence_mii(const ir::Function& fn, const ElabGraph& elab,

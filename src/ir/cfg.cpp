@@ -1,0 +1,123 @@
+#include "ir/cfg.hpp"
+
+#include <algorithm>
+
+namespace powergear::ir {
+
+void Cfg::add_edge(int from, int to) {
+    blocks.at(static_cast<std::size_t>(from)).succs.push_back(to);
+    blocks.at(static_cast<std::size_t>(to)).preds.push_back(from);
+}
+
+std::vector<bool> Cfg::reachable() const {
+    std::vector<bool> seen(blocks.size(), false);
+    if (entry < 0) return seen;
+    std::vector<int> work{entry};
+    seen[static_cast<std::size_t>(entry)] = true;
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        for (int s : block(b).succs)
+            if (!seen[static_cast<std::size_t>(s)]) {
+                seen[static_cast<std::size_t>(s)] = true;
+                work.push_back(s);
+            }
+    }
+    return seen;
+}
+
+std::vector<int> Cfg::rpo() const {
+    // Iterative DFS with an explicit successor cursor per frame.
+    std::vector<int> order;
+    if (entry < 0) return order;
+    std::vector<char> state(blocks.size(), 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<int, std::size_t>> stack{{entry, 0}};
+    state[static_cast<std::size_t>(entry)] = 1;
+    while (!stack.empty()) {
+        auto& [b, cursor] = stack.back();
+        const CfgBlock& blk = block(b);
+        if (cursor < blk.succs.size()) {
+            const int s = blk.succs[cursor++];
+            if (state[static_cast<std::size_t>(s)] == 0) {
+                state[static_cast<std::size_t>(s)] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            state[static_cast<std::size_t>(b)] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+namespace {
+
+struct CfgBuilder {
+    const Function& fn;
+    Cfg g;
+
+    int new_block(int loop, bool latch = false) {
+        CfgBlock b;
+        b.loop = loop;
+        b.is_latch = latch;
+        g.blocks.push_back(std::move(b));
+        return static_cast<int>(g.blocks.size()) - 1;
+    }
+
+    /// Lower one region's statement list; returns {first, last} block ids.
+    std::pair<int, int> build_region(const std::vector<BodyItem>& items,
+                                     int region_loop,
+                                     std::vector<bool>& visited) {
+        const int first = new_block(region_loop);
+        int cur = first;
+        for (const BodyItem& item : items) {
+            if (item.kind == BodyItem::Kind::Instruction) {
+                g.blocks[static_cast<std::size_t>(cur)].instrs.push_back(item.index);
+                g.block_of_instr[static_cast<std::size_t>(item.index)] = cur;
+                continue;
+            }
+            const int l = item.index;
+            visited[static_cast<std::size_t>(l)] = true;
+            const auto [bf, bl] =
+                build_region(fn.loop(l).body, l, visited);
+            const int latch = new_block(l, /*latch=*/true);
+            g.latch_of[static_cast<std::size_t>(l)] = latch;
+            g.add_edge(cur, bf);   // trip_count >= 1: always enter the body
+            g.add_edge(bl, latch);
+            g.add_edge(latch, bf); // back edge (next iteration)
+            cur = new_block(region_loop);
+            g.add_edge(latch, cur); // loop exit
+        }
+        return {first, cur};
+    }
+};
+
+} // namespace
+
+Cfg build_cfg(const Function& fn) {
+    CfgBuilder b{fn, {}};
+    b.g.block_of_instr.assign(fn.instrs.size(), -1);
+    b.g.latch_of.assign(fn.loops.size(), -1);
+    std::vector<bool> visited(fn.loops.size(), false);
+
+    const auto [entry, exit] = b.build_region(fn.top, -1, visited);
+    b.g.entry = entry;
+    b.g.exit = exit;
+
+    // Loops outside the region tree: lower them too (no incoming edges), so
+    // dataflow clients see them as unreachable instead of not at all.
+    for (int l = 0; l < static_cast<int>(fn.loops.size()); ++l) {
+        if (visited[static_cast<std::size_t>(l)]) continue;
+        visited[static_cast<std::size_t>(l)] = true;
+        const auto [bf, bl] = b.build_region(fn.loop(l).body, l, visited);
+        const int latch = b.new_block(l, /*latch=*/true);
+        b.g.latch_of[static_cast<std::size_t>(l)] = latch;
+        b.g.add_edge(bl, latch);
+        b.g.add_edge(latch, bf);
+    }
+    return std::move(b.g);
+}
+
+} // namespace powergear::ir

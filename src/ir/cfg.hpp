@@ -1,0 +1,58 @@
+// Control-flow graph synthesized from the structured IR.
+//
+// The IR has no explicit branches — control flow is implied by the loop
+// region tree. This module makes it explicit so the dataflow solver
+// (src/analysis/dataflow) can run classic forward/backward fixpoint
+// analyses over it. Counted loops with trip_count >= 1 always execute, so
+// each loop lowers to a do-while shape: the entry path falls straight into
+// the first body block, the latch block at the bottom either takes the back
+// edge or exits. Loops detached from the region tree (the IR002 defect)
+// still get blocks, just without incoming edges — they show up as
+// unreachable, which is exactly what the DF-dead checker wants to see.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace powergear::ir {
+
+/// One straight-line run of instructions.
+struct CfgBlock {
+    std::vector<int> instrs;        ///< instruction ids in execution order
+    std::vector<int> succs, preds;  ///< block ids
+    int loop = -1;                  ///< enclosing loop region (-1 = top level)
+    bool is_latch = false;          ///< the back-edge/exit-test block of `loop`
+};
+
+/// The synthesized graph. Single entry, single exit.
+struct Cfg {
+    std::vector<CfgBlock> blocks;
+    int entry = -1;
+    int exit = -1;
+    std::vector<int> latch_of;        ///< loop id -> latch block id
+    std::vector<int> block_of_instr;  ///< instr id -> block id (-1 = detached)
+
+    int num_blocks() const { return static_cast<int>(blocks.size()); }
+    const CfgBlock& block(int b) const {
+        return blocks.at(static_cast<std::size_t>(b));
+    }
+
+    /// Insert a directed edge (used by build_cfg and by hand-built test
+    /// graphs for solver unit tests).
+    void add_edge(int from, int to);
+
+    /// Per-block reachability from the entry block.
+    std::vector<bool> reachable() const;
+
+    /// Reverse post-order over the blocks reachable from entry. Forward
+    /// analyses iterate this order; backward analyses iterate its reverse.
+    std::vector<int> rpo() const;
+};
+
+/// Lower the region tree of `fn` into a Cfg. Assumes a structurally valid
+/// function (run ir::verify first); detached loops become unreachable blocks
+/// rather than an error.
+Cfg build_cfg(const Function& fn);
+
+} // namespace powergear::ir

@@ -88,6 +88,20 @@ bool is_trivial_cast(Opcode op) {
 
 int opcode_count() { return static_cast<int>(Opcode::Ret) + 1; }
 
+std::vector<int> Function::region_instrs(int loop_id) const {
+    std::vector<int> out;
+    for (const BodyItem& item : region(loop_id))
+        if (item.kind == BodyItem::Kind::Instruction) out.push_back(item.index);
+    return out;
+}
+
+std::vector<int> Function::loop_children(int loop_id) const {
+    std::vector<int> out;
+    for (const BodyItem& item : region(loop_id))
+        if (item.kind == BodyItem::Kind::ChildLoop) out.push_back(item.index);
+    return out;
+}
+
 bool Function::is_innermost(int loop_id) const {
     for (const BodyItem& item : loop(loop_id).body)
         if (item.kind == BodyItem::Kind::ChildLoop) return false;

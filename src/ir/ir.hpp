@@ -110,6 +110,20 @@ struct Function {
     Instr& instr(int id) { return instrs.at(static_cast<std::size_t>(id)); }
     const Loop& loop(int id) const { return loops.at(static_cast<std::size_t>(id)); }
 
+    /// Statement list of a region: the loop body for `loop_id >= 0`, the
+    /// function top level for -1. The region view the CFG builder and the
+    /// dataflow passes (src/analysis/dataflow) walk.
+    const std::vector<BodyItem>& region(int loop_id) const {
+        return loop_id < 0 ? top : loop(loop_id).body;
+    }
+
+    /// Ids of the instructions that are direct statements of a region
+    /// (child-loop bodies excluded), in statement order.
+    std::vector<int> region_instrs(int loop_id) const;
+
+    /// Ids of the direct child loops of a region (-1 = top level).
+    std::vector<int> loop_children(int loop_id) const;
+
     /// True when `loop_id` contains no child loops.
     bool is_innermost(int loop_id) const;
 

@@ -83,18 +83,20 @@ TEST(Diagnostics, RegistryHasUniqueIdsAcrossAllFamilies) {
     const auto& reg = analysis::rule_registry();
     ASSERT_FALSE(reg.empty());
     std::set<std::string> ids;
-    bool ir = false, sched = false, graph = false, nn = false, api = false;
+    bool ir = false, df = false, sched = false, graph = false, nn = false,
+         api = false;
     for (const analysis::RuleInfo& r : reg) {
         EXPECT_TRUE(ids.insert(r.id).second) << "duplicate rule " << r.id;
         const std::string id = r.id;
         ir |= id.rfind("IR", 0) == 0;
+        df |= id.rfind("DF", 0) == 0;
         sched |= id.rfind("SCHED", 0) == 0;
         graph |= id.rfind("GRAPH", 0) == 0;
         nn |= id.rfind("NN", 0) == 0;
         api |= id.rfind("API", 0) == 0;
         EXPECT_NE(r.summary[0], '\0');
     }
-    EXPECT_TRUE(ir && sched && graph && nn && api);
+    EXPECT_TRUE(ir && df && sched && graph && nn && api);
 }
 
 TEST(Diagnostics, RuleLookupResolvesSeverity) {
@@ -242,6 +244,108 @@ TEST(IrLint, Ir005FiresOnEmptyLoopBody) {
     fn.loops[0].body.clear();
     const analysis::Report r = analysis::lint_ir(fn);
     EXPECT_EQ(r.count("IR005"), 1);
+}
+
+// --- dataflow checks --------------------------------------------------------
+
+TEST(DfCheck, CleanKernelProducesNoDiagnostics) {
+    EXPECT_TRUE(analysis::check_dataflow(simple_kernel()).empty());
+}
+
+TEST(DfCheck, Df001FiresOnProvableOutOfBoundsIndex) {
+    Builder b("oob");
+    const int a = b.array("A", {8});
+    b.begin_loop("L0", 8);
+    const int i = b.indvar();
+    // i + 4 ranges over [4, 11] against an extent of 8.
+    b.store(a, {b.add(i, b.constant(4))}, i);
+    b.end_loop();
+    const analysis::Report r = analysis::check_dataflow(b.build());
+    EXPECT_EQ(r.count("DF001"), 1);
+    EXPECT_EQ(r.size(), 1);
+    EXPECT_NE(r.render_text().find("[4, 11]"), std::string::npos);
+}
+
+TEST(DfCheck, Df002FiresOnLoadBeforeAnyReachingStore) {
+    Builder b("uninit");
+    const int tmp = b.array("tmp", {4}, /*external=*/false);
+    const int out = b.array("out", {4});
+    b.begin_loop("L0", 4);
+    const int i = b.indvar();
+    b.store(out, {i}, b.load(tmp, {i})); // tmp never written anywhere
+    b.end_loop();
+    const analysis::Report r = analysis::check_dataflow(b.build());
+    EXPECT_EQ(r.count("DF002"), 1);
+
+    // The produce-then-consume idiom (store loop before load loop) is fine.
+    Builder c("staged");
+    const int t2 = c.array("tmp", {4}, /*external=*/false);
+    const int o2 = c.array("out", {4});
+    c.begin_loop("P", 4);
+    c.store(t2, {c.indvar()}, c.indvar());
+    c.end_loop();
+    c.begin_loop("C", 4);
+    c.store(o2, {c.indvar()}, c.load(t2, {c.indvar()}));
+    c.end_loop();
+    EXPECT_FALSE(analysis::check_dataflow(c.build()).has("DF002"));
+}
+
+TEST(DfCheck, Df003FiresOnDeadRegisterStore) {
+    Builder b("deadstore");
+    const int out = b.array("out", {4});
+    const int acc = b.reg("acc");
+    b.begin_loop("L0", 4);
+    const int i = b.indvar();
+    b.store(out, {i}, i);
+    b.end_loop();
+    b.store_reg(acc, b.constant(5)); // nothing ever loads acc
+    const analysis::Report r = analysis::check_dataflow(b.build());
+    EXPECT_EQ(r.count("DF003"), 1);
+    EXPECT_EQ(r.diagnostics()[0].artifact, "instr");
+}
+
+TEST(DfCheck, Df003FiresOnUnreachableBlock) {
+    ir::Function fn = simple_kernel();
+    // Detach the loop from the top-level statement list (as in the IR002
+    // test): its body blocks lose every incoming edge.
+    fn.top.erase(std::remove_if(fn.top.begin(), fn.top.end(),
+                                [](const ir::BodyItem& it) {
+                                    return it.kind ==
+                                           ir::BodyItem::Kind::ChildLoop;
+                                }),
+                 fn.top.end());
+    const analysis::Report r = analysis::check_dataflow(fn);
+    ASSERT_TRUE(r.has("DF003"));
+    bool block_finding = false;
+    for (const analysis::Diagnostic& d : r.diagnostics())
+        block_finding |= d.rule == "DF003" && d.artifact == "block";
+    EXPECT_TRUE(block_finding);
+}
+
+TEST(DfCheck, Df004FiresWhenSchedulerLosesRecurrenceEdges) {
+    // acc = acc * A[i]: a genuine multiply recurrence (MII 3). On the intact
+    // elaboration both sides agree; with the SSA edges stripped the
+    // scheduler's recurrence analysis collapses to 1 and the independent
+    // IR-side oracle catches it.
+    Builder b("recur4");
+    const int a = b.array("A", {8});
+    const int out = b.array("out", {1});
+    const int acc = b.reg("acc");
+    b.store_reg(acc, b.constant(1));
+    b.begin_loop("L0", 8);
+    const int i = b.indvar();
+    b.store_reg(acc, b.mul(b.load_reg(acc), b.load(a, {i})));
+    b.end_loop();
+    b.store(out, {b.constant(0)}, b.load_reg(acc));
+    const ir::Function fn = b.build();
+
+    hls::ElabGraph elab = hls::elaborate(fn, hls::Directives{});
+    EXPECT_TRUE(analysis::check_recurrence(fn, elab).empty());
+
+    elab.edges.clear();
+    const analysis::Report r = analysis::check_recurrence(fn, elab);
+    EXPECT_EQ(r.count("DF004"), 1);
+    EXPECT_NE(r.render_text().find("recurrence MII"), std::string::npos);
 }
 
 // --- schedule checks --------------------------------------------------------

@@ -7,7 +7,8 @@
 //                      [--kind dynamic]
 //   powergear dse      --kernel atax --samples 48 --budget 0.4
 //                      [--train bicg,gemm,syrk]
-//   powergear lint     [kernel] [--size 16] [--points 6] [--json]
+//   powergear lint     [kernel] [--all] [--size 16] [--points 6] [--json]
+//                      [--sarif out.sarif]
 //   powergear cache    {stats|clear} [--cache-dir DIR]
 //   powergear version  (also: powergear --version)
 //
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "analysis/sarif.hpp"
 #include "core/powergear.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
@@ -80,7 +82,7 @@ struct UsageError : std::runtime_error {
 
 /// Flags that take no value; everything else written as "--key" demands one.
 const std::set<std::string>& boolean_flags() {
-    static const std::set<std::string> flags = {"json"};
+    static const std::set<std::string> flags = {"json", "all"};
     return flags;
 }
 
@@ -307,14 +309,20 @@ int cmd_dse(const Args& a) {
 }
 
 int cmd_lint(const Args& a) {
-    // "lint <kernel>" or "lint --kernel <kernel>"; no kernel = whole suite.
+    // "lint <kernel>" or "lint --kernel <kernel>"; no kernel = the paper's
+    // nine-kernel suite; --all = every registered kernel (paper + extended).
     std::vector<std::string> names;
-    if (!a.positional.empty())
-        names.push_back(a.positional.front());
-    else if (a.has("kernel"))
-        names.push_back(a.get("kernel"));
-    else
+    if (a.has("all")) {
         names = kernels::polybench_names();
+        for (const std::string& n : kernels::extended_kernel_names())
+            names.push_back(n);
+    } else if (!a.positional.empty()) {
+        names.push_back(a.positional.front());
+    } else if (a.has("kernel")) {
+        names.push_back(a.get("kernel"));
+    } else {
+        names = kernels::polybench_names();
+    }
 
     analysis::LintOptions lo;
     lo.design_points = a.get_int("points", 6);
@@ -327,6 +335,14 @@ int cmd_lint(const Args& a) {
         const ir::Function fn = kernels::build_polybench(name, size);
         all.merge(analysis::lint_kernel(fn, lo));
     }
+    if (a.has("sarif")) {
+        const std::string path = a.get("sarif");
+        if (!analysis::write_sarif(all, path)) {
+            std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "lint: wrote SARIF report to %s\n", path.c_str());
+    }
     if (json) {
         std::printf("%s\n", all.render_json().c_str());
     } else {
@@ -336,7 +352,9 @@ int cmd_lint(const Args& a) {
                     static_cast<int>(names.size()), lo.design_points,
                     all.size(), all.errors(), all.warnings());
     }
-    return all.errors() > 0 ? 2 : (all.empty() ? 0 : 1);
+    // Exit contract: 0 = no Error-severity findings (warnings/notes are
+    // advisory), 2 = at least one Error, 1 = operational failure above.
+    return all.errors() > 0 ? 2 : 0;
 }
 
 int cmd_cache(const Args& a) {
@@ -405,9 +423,13 @@ void usage() {
         "  dse       --kernel K [--train A,B,C --budget 0.4]\n"
         "            [--jobs N] [--metrics F] [--cache-dir D]\n"
         "            explore a design space under an estimation budget\n"
-        "  lint      [K] [--size S --points N --json] [--metrics F]\n"
+        "  lint      [K] [--all --size S --points N --json --sarif F]\n"
+        "            [--metrics F]\n"
         "            static-check the pipeline artifacts of one kernel\n"
-        "            (default: all); exit 0 = clean, 1 = warnings, 2 = errors\n"
+        "            (default: the paper's nine; --all adds the extended\n"
+        "            kernels); --sarif F writes a SARIF 2.1.0 report.\n"
+        "            exit 0 = no errors (warnings are advisory),\n"
+        "            2 = error diagnostics, 1 = operational failure\n"
         "  cache     {stats|clear} [--cache-dir D]\n"
         "            inspect or empty the pipeline cache\n"
         "  version   print the on-disk format versions (also: --version)\n"
