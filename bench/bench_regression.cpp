@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "core/powergear.hpp"
+#include "core/serve/client.hpp"
+#include "core/serve/server.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
 #include "fpga/netlist.hpp"
@@ -442,6 +444,42 @@ int main(int argc, char** argv) {
                     if (ests.size() != pool.size()) std::abort();
                 },
                 static_cast<double>(pool.size())));
+        }
+
+        if (want("serve_pipeline16")) {
+            // Warm-daemon round trip: 16 estimates pipelined over one
+            // connection, coalesced by the admission queue into a single
+            // PowerGear::estimate_batch (max_batch 16 makes the batcher
+            // fire exactly when the burst has landed instead of waiting
+            // out the linger window).
+            const EstimatorFixture fx;
+            const std::string tag = std::to_string(::getpid());
+            const std::string sock = "/tmp/pgbench_reg_" + tag + ".sock";
+            const std::string model = "/tmp/pgbench_reg_" + tag + ".pgm";
+            fx.pg.save(model);
+            core::serve::ServerConfig cfg;
+            cfg.socket_path = sock;
+            cfg.model_path = model;
+            cfg.max_batch = 16;
+            cfg.batch_window_us = 5000;
+            core::serve::Server server(cfg);
+            server.start();
+            {
+                core::serve::Client client(sock);
+                std::vector<const dataset::Sample*> ptrs;
+                for (std::size_t i = 0; i < 16; ++i)
+                    ptrs.push_back(
+                        &fx.eval.samples[i % fx.eval.samples.size()]);
+                results.push_back(run_bench(
+                    "serve_pipeline16", reps,
+                    [&] {
+                        if (client.estimate_batch(ptrs).size() != 16)
+                            std::abort();
+                    },
+                    16.0));
+            }
+            server.stop();
+            std::filesystem::remove(model);
         }
 
         if (results.empty()) {

@@ -10,7 +10,10 @@
 # once more under POWERGEAR_KERNEL=ref so the reference NN kernel oracle
 # stays green alongside the default blocked backend.
 # Finishes with a `powergear lint --all` sweep over every built-in kernel
-# (paper + extended; must report zero diagnostics, exit 0).
+# (paper + extended; must report zero diagnostics, exit 0), a serve-daemon
+# load-generator leg (warm path must hold >= 20x over the cold process
+# path), an install-tree consumer build (the facade header + exported
+# CMake target must be the whole external surface), and the bench gate.
 #
 # Each flavor is built by scripts/build_one.sh — the same entry point
 # .github/workflows/ci.yml uses, so local and CI builds cannot drift apart.
@@ -76,9 +79,46 @@ echo "=== lint: every built-in kernel must be diagnostic-free ==="
 # any Error-severity diagnostic makes the CLI exit nonzero — same leg CI runs.
 ./build-check-release/tools/powergear lint --all
 
+echo "=== serve leg: warm-daemon load generator + speedup floor ==="
+# 1/4/16-connection closed-loop load plus the pipelined coalescing path;
+# the warm daemon must hold the documented >= 20x over the cold
+# `powergear estimate` process path (EXPERIMENTS.md "Serving").
+./build-check-release/bench/bench_serve --requests 200 --out SERVE_check.json
+python3 - <<'EOF'
+import json
+rep = json.load(open("SERVE_check.json"))
+speedup = rep["speedup_vs_cold_process"]
+assert speedup >= 20.0, f"warm daemon only {speedup:.1f}x vs cold process path"
+print(f"serve leg ok: {speedup:.1f}x vs cold, "
+      f"p95@16conns {rep['connections']['16']['p95_ms']:.2f} ms")
+EOF
+
+echo "=== install-tree API consumer: facade header + exported target only ==="
+# Install into a scratch prefix and build examples/api_consumer.cpp as an
+# out-of-tree project: find_package(powergear CONFIG) + the one facade
+# header must be the entire surface an external client needs.
+stage=$(mktemp -d)
+consumer=$(mktemp -d)
+cmake --install build-check-release --prefix "$stage" > /dev/null
+cp examples/api_consumer.cpp "$consumer/main.cpp"
+cat > "$consumer/CMakeLists.txt" <<'EOT'
+cmake_minimum_required(VERSION 3.16)
+project(pg_consumer CXX)
+set(CMAKE_CXX_STANDARD 20)
+set(CMAKE_CXX_STANDARD_REQUIRED ON)
+find_package(powergear CONFIG REQUIRED)
+add_executable(consumer main.cpp)
+target_link_libraries(consumer PRIVATE powergear::powergear)
+EOT
+cmake -B "$consumer/build" -S "$consumer" \
+    -DCMAKE_BUILD_TYPE=Release -DCMAKE_PREFIX_PATH="$stage" > /dev/null
+cmake --build "$consumer/build" -j "$JOBS" > /dev/null
+"$consumer/build/consumer"
+rm -rf "$stage" "$consumer"
+
 echo "=== bench gate: no perf regression vs bench/baseline.json ==="
 python3 scripts/bench_gate.py --baseline bench/baseline.json \
     --run build-check-release/bench/bench_regression --reps 3 \
     --out BENCH_check.json
 
-echo "check.sh: release + asan + ubsan + tsan + jobs/kernel matrix + lint + bench gate all green"
+echo "check.sh: release + asan + ubsan + tsan + jobs/kernel matrix + lint + serve + consumer + bench gate all green"

@@ -56,8 +56,15 @@ std::string render_sarif(const Report& report) {
 
         std::string fqn = d.context.empty() ? "<unknown>" : d.context;
         if (!d.artifact.empty()) {
-            fqn += "/" + d.artifact;
-            if (d.index >= 0) fqn += "/" + std::to_string(d.index);
+            // Appending in two steps (instead of `"/" + ...`) sidesteps a
+            // GCC 12 -Wrestrict false positive on the temporary-string
+            // operator+ overload, which -Werror builds turn fatal.
+            fqn += '/';
+            fqn += d.artifact;
+            if (d.index >= 0) {
+                fqn += '/';
+                fqn += std::to_string(d.index);
+            }
         }
         JsonValue logical = JsonValue::object();
         logical.set("fullyQualifiedName", JsonValue(fqn));

@@ -23,10 +23,12 @@ public:
 
     SamplePool() = default;
 
-    /// Non-owning view; the pointer array must outlive every use of the pool.
-    SamplePool(View view) : view_(view) {}
-    SamplePool(const std::vector<const dataset::Sample*>& ptrs)
-        : view_(ptrs.data(), ptrs.size()) {}
+    /// Non-owning view; the pointer array must outlive every use of the
+    /// pool. Explicit on purpose: borrowing is a lifetime contract the call
+    /// site should spell out. (The implicit vector<Sample*> -> SamplePool
+    /// conversion this type once offered is gone — build pools through
+    /// dataset::pool_of / of / except / adopt, or borrow a View explicitly.)
+    explicit SamplePool(View view) : view_(view) {}
 
     /// Pool backed by its own (shared) pointer index. The samples themselves
     /// stay borrowed from the datasets that own them.

@@ -1,0 +1,78 @@
+// Client for the powergear serve daemon (core/serve/server).
+//
+// One Client owns one Unix-domain socket connection. Calls are synchronous
+// from the caller's point of view; estimate_batch pipelines all requests
+// before reading any response, so the daemon's admission queue can coalesce
+// them into a single PowerGear::estimate_batch even over one connection.
+// Responses are matched back to requests by correlation id — arrival order
+// is not assumed.
+//
+// Not thread-safe: share nothing, or give each thread its own Client (the
+// daemon handles concurrent connections natively).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/powergear.hpp"
+#include "dataset/sample.hpp"
+#include "io/wire.hpp"
+
+namespace powergear::core::serve {
+
+class Client {
+public:
+    /// Connect to the daemon at `socket_path`. Throws std::runtime_error
+    /// when nothing is listening there.
+    explicit Client(std::string socket_path);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Estimate one sample. Throws on a server-side error response.
+    Estimate estimate(const dataset::Sample& s);
+
+    /// Estimate many samples over one pipelined burst. Results are in
+    /// request order. Throws if any response carries an error.
+    std::vector<Estimate> estimate_batch(
+        std::span<const dataset::Sample* const> samples);
+
+    /// Like estimate_batch, but returns the full wire responses (status,
+    /// error text, model generation) in request order without throwing on
+    /// per-request errors. Tests use the generation echo to check that a
+    /// hot-swap boundary is atomic.
+    std::vector<io::ServeResponse> estimate_raw(
+        std::span<const dataset::Sample* const> samples);
+
+    struct ServerInfo {
+        std::uint64_t generation = 0;
+        std::uint32_t members = 0;
+    };
+
+    /// Liveness probe; reports the live model's generation + ensemble size.
+    ServerInfo ping();
+
+    /// Ask the daemon to hot-swap its model from the artifact path it was
+    /// started with. Returns the new generation; throws if the reload
+    /// failed (the old model keeps serving in that case).
+    ServerInfo reload();
+
+    /// Ask the daemon to drain and exit cleanly.
+    void shutdown_server();
+
+    const std::string& socket_path() const { return path_; }
+
+private:
+    void send_request(const io::ServeRequest& req);
+    io::ServeResponse read_response();
+    io::ServeResponse control(io::ServeOp op);
+
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t next_id_ = 1;
+};
+
+} // namespace powergear::core::serve

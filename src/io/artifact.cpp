@@ -221,6 +221,10 @@ std::vector<std::uint8_t> unframe(const std::vector<std::uint8_t>& file,
     return payload;
 }
 
+std::optional<ArtifactInfo> peek_header(const void* data, std::size_t n) {
+    return parse_header(static_cast<const std::uint8_t*>(data), n);
+}
+
 std::optional<ArtifactInfo> peek_file(const std::string& path) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (!f) return std::nullopt;

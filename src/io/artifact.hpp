@@ -134,6 +134,12 @@ std::vector<std::uint8_t> unframe(const std::vector<std::uint8_t>& file,
 /// shorter than a header, or not a powergear artifact.
 std::optional<ArtifactInfo> peek_file(const std::string& path);
 
+/// Parse an in-memory header prefix (the first kHeaderSize bytes of a frame)
+/// without touching any payload. Returns nullopt on short input, bad magic
+/// or container-version mismatch. The wire transport (io/wire) uses this to
+/// learn the payload length before reading it off a socket.
+std::optional<ArtifactInfo> peek_header(const void* data, std::size_t n);
+
 /// Whole-file helpers. read_file returns nullopt when the file cannot be
 /// opened; write_file_atomic writes to a unique temp name in the target
 /// directory and renames into place (concurrent writers of the same path

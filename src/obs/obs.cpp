@@ -27,6 +27,7 @@ const char* phase_name(Phase p) {
     case Phase::EstimateBatch: return "estimate_batch";
     case Phase::Dse: return "dse";
     case Phase::Cache: return "cache";
+    case Phase::Serve: return "serve";
     case Phase::kCount: break;
     }
     return "unknown";
@@ -140,6 +141,13 @@ void add(Phase phase, const char* counter, std::uint64_t delta) {
     Sink& s = local_sink();
     std::lock_guard<std::mutex> lock(s.mu);
     s.counters[static_cast<std::size_t>(phase)][counter] += delta;
+}
+
+void record(Phase phase, double seconds) {
+    if (!enabled()) return;
+    Sink& s = local_sink();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.durations_s[static_cast<std::size_t>(phase)].push_back(seconds);
 }
 
 Scope::Scope(Phase phase) : phase_(phase), active_(enabled()) {

@@ -40,6 +40,7 @@ enum class Phase : int {
     EstimateBatch,   ///< core::PowerGear::estimate_batch — inference
     Dse,             ///< dse::Explorer::run — design-space exploration
     Cache,           ///< io::Cache — pipeline-cache hits/misses/stores
+    Serve,           ///< core::serve — per-request daemon latency + counters
     kCount
 };
 
@@ -68,6 +69,13 @@ void reset();
 /// short snake_case literals ("samples", "estimates", "executed_ops").
 void add(Phase phase, const char* counter, std::uint64_t delta = 1);
 
+/// Record one externally-measured duration into `phase`, as if a Scope of
+/// that length had just closed on the calling thread. For spans whose start
+/// and end live on different threads (the serve daemon measures each request
+/// from admission-queue entry to response write); prefer Scope everywhere a
+/// span stays on one thread.
+void record(Phase phase, double seconds);
+
 /// RAII phase timer: construction stamps the start, destruction records the
 /// elapsed wall time into the calling thread's sink. Scopes nest freely
 /// (each records its own full span; nothing is subtracted) and may live on
@@ -91,6 +99,7 @@ inline bool enabled() { return false; }
 inline void set_enabled(bool) {}
 inline void reset() {}
 inline void add(Phase, const char*, std::uint64_t = 1) {}
+inline void record(Phase, double) {}
 
 class Scope {
 public:

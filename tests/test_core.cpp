@@ -184,17 +184,20 @@ TEST(PowerGearApi, EstimateBatchBeforeFitThrows) {
                  std::logic_error);
 }
 
-TEST(PowerGearApi, PointerVectorsConvertToPools) {
-    // A caller-owned pointer array keeps working through SamplePool's
-    // implicit borrowing constructor (the PR-2 vector overloads are gone).
+TEST(PowerGearApi, CallerOwnedPointerArraysBorrowExplicitly) {
+    // A caller-owned pointer array enters the API through an explicit
+    // borrowing View (the implicit vector -> SamplePool conversion is
+    // gone): the lifetime contract is visible at the call site.
     PowerGear pg(quick_opts(dataset::PowerKind::Total));
     std::vector<const dataset::Sample*> train;
     for (std::size_t d = 0; d < 2; ++d)
         for (const auto& s : suite()[d].samples) train.push_back(&s);
-    pg.fit(train);
+    pg.fit(core::SamplePool(
+        core::SamplePool::View(train.data(), train.size())));
     std::vector<const dataset::Sample*> test;
     for (const auto& s : suite()[2].samples) test.push_back(&s);
-    EXPECT_TRUE(std::isfinite(pg.evaluate_mape(test)));
+    EXPECT_TRUE(std::isfinite(pg.evaluate_mape(
+        core::SamplePool(core::SamplePool::View(test.data(), test.size())))));
 }
 
 TEST(PowerGearApi, AblationOptionsPropagate) {

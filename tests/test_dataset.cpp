@@ -138,9 +138,10 @@ TEST(Splits, SamplePoolOutlivesItsBuilderAndSharesIndex) {
     }
     ASSERT_EQ(copy.size(), 3u);
     for (const Sample* s : copy.view()) EXPECT_EQ(s->kernel, "atax");
-    // A plain view over a caller-owned pointer array borrows instead.
+    // A plain view over a caller-owned pointer array borrows instead —
+    // explicitly, so the lifetime contract shows at the call site.
     std::vector<const Sample*> ptrs{&ds.samples[0]};
-    const core::SamplePool view(ptrs);
+    const core::SamplePool view{core::SamplePool::View(ptrs.data(), 1)};
     EXPECT_EQ(&view[0], &ds.samples[0]);
 }
 

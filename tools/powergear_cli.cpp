@@ -7,29 +7,40 @@
 //                      [--kind dynamic]
 //   powergear dse      --kernel atax --samples 48 --budget 0.4
 //                      [--train bicg,gemm,syrk]
+//   powergear serve    --model model.pgm --socket /tmp/pg.sock
+//                      [--max-batch N --batch-window-us U --max-queue N]
+//   powergear serve    --socket /tmp/pg.sock {--ping|--reload|--stop}
 //   powergear lint     [kernel] [--all] [--size 16] [--points 6] [--json]
 //                      [--sarif out.sarif]
 //   powergear cache    {stats|clear} [--cache-dir DIR]
 //   powergear version  (also: powergear --version)
 //
-// gen/train/estimate/dse accept --jobs N to size the parallel runtime
-// (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial) and
-// --cache-dir DIR (env fallback: POWERGEAR_CACHE) to reuse pipeline-stage
-// artifacts — sim traces, finished samples, trained ensembles — across
-// invocations through the content-addressed io::Cache. Results are
-// bit-identical for every job count, with and without a warm cache.
+// The command surface is declared once, as data: kSpecs below is the
+// util::cli option table (type, default, env fallback, per-command
+// applicability), and parsing/suggestions/type validation all come from
+// that single source. Exit contract: 0 = success, 1 = operational failure,
+// 2 = usage error (unknown/misapplied option, bad value, missing value).
+//
+// gen/train/estimate/dse/serve accept --jobs N to size the parallel runtime
+// (default: POWERGEAR_JOBS or hardware concurrency; 1 = serial) and the
+// pipeline commands take --cache-dir DIR (env fallback: POWERGEAR_CACHE) to
+// reuse stage artifacts across invocations through the content-addressed
+// io::Cache. Results are bit-identical for every job count, with and
+// without a warm cache.
 //
 // Every command accepts --metrics FILE (env fallback: POWERGEAR_METRICS)
 // to write an obs JSON report of per-phase latency percentiles, counters
-// (including cache hits/misses) and throughput after the run.
+// (including cache hits/misses and serve requests/batches/reloads) and
+// throughput after the run — for serve, after the daemon drains.
 //
-// Dataset generation is deterministic for a given (kernel, samples, size,
-// seed), so models trained in one invocation estimate datasets generated in
-// another.
+// serve runs the long-lived estimation daemon (core/serve): the model
+// loads once, concurrent connections coalesce into batched estimate calls,
+// and SIGHUP (or `powergear serve --reload`) hot-swaps the model atomically
+// without dropping in-flight requests. SIGTERM/SIGINT (or `--stop`) drain
+// and exit cleanly.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -38,6 +49,8 @@
 #include "analysis/analysis.hpp"
 #include "analysis/sarif.hpp"
 #include "core/powergear.hpp"
+#include "core/serve/client.hpp"
+#include "core/serve/server.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
 #include "dse/explorer.hpp"
@@ -47,87 +60,91 @@
 #include "kernels/polybench.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 
 using namespace powergear;
+using util::cli::OptType;
+using util::cli::Parsed;
+using util::cli::UsageError;
 
 namespace {
 
-struct Args {
-    std::string command;
-    std::map<std::string, std::string> options;
-    std::vector<std::string> positional;
-
-    bool has(const std::string& key) const { return options.count(key) > 0; }
-    std::string get(const std::string& key, const std::string& fallback = "") const {
-        auto it = options.find(key);
-        return it == options.end() ? fallback : it->second;
-    }
-    int get_int(const std::string& key, int fallback) const {
-        auto it = options.find(key);
-        return it == options.end() ? fallback : std::stoi(it->second);
-    }
-    double get_double(const std::string& key, double fallback) const {
-        auto it = options.find(key);
-        return it == options.end() ? fallback : std::stod(it->second);
-    }
+// The whole CLI surface, as data. Column order: name, type, default, env
+// fallback, applicable commands, help. parse() enforces the applicability
+// column and value types; getters resolve command line > env > default.
+constexpr util::cli::OptionSpec kSpecs[] = {
+    {"kernel", OptType::String, "", "", "gen,estimate,dse,lint",
+     "kernel to generate/estimate/explore/lint"},
+    {"kernels", OptType::String, "atax,bicg,gemm", "", "train",
+     "comma-separated training kernels"},
+    {"train", OptType::String, "bicg,gemm,syrk", "", "dse",
+     "comma-separated kernels the DSE model trains on"},
+    {"samples", OptType::Int, "24", "", "gen,train,estimate,dse",
+     "designs per dataset"},
+    {"size", OptType::Int, "16", "", "gen,train,estimate,dse,lint",
+     "polybench problem size"},
+    {"seed", OptType::Int, "42", "", "gen,train,estimate,dse,lint",
+     "dataset RNG seed"},
+    {"csv", OptType::String, "", "", "gen", "also write the table as CSV"},
+    {"out", OptType::String, "", "", "train", "model artifact output path"},
+    {"model", OptType::String, "", "", "estimate,serve",
+     "trained model artifact (.pgm)"},
+    {"kind", OptType::String, "total", "", "train,estimate",
+     "power label: total | dynamic"},
+    {"epochs", OptType::Int, "", "", "train", "training epochs per member"},
+    {"folds", OptType::Int, "", "", "train", "cross-validation folds"},
+    {"seeds", OptType::Int, "", "", "train", "ensemble seeds per fold"},
+    {"hidden", OptType::Int, "", "", "train", "hidden layer width"},
+    {"budget", OptType::Double, "0.4", "", "dse",
+     "estimation budget fraction"},
+    {"points", OptType::Int, "6", "", "lint", "design points per kernel"},
+    {"json", OptType::Flag, "", "", "lint", "emit JSON diagnostics"},
+    {"all", OptType::Flag, "", "", "lint", "lint every registered kernel"},
+    {"sarif", OptType::String, "", "", "lint",
+     "write a SARIF 2.1.0 report"},
+    {"jobs", OptType::Int, "", "", "gen,train,estimate,dse,serve",
+     "parallel runtime width (1 = serial)"},
+    {"metrics", OptType::String, "", "POWERGEAR_METRICS", "*",
+     "write a powergear-obs-v1 JSON report after the run"},
+    {"cache-dir", OptType::String, "", "POWERGEAR_CACHE",
+     "gen,train,estimate,dse,cache", "pipeline cache root"},
+    {"socket", OptType::String, "", "POWERGEAR_SOCKET", "serve",
+     "Unix-domain socket the daemon binds / clients dial"},
+    {"max-batch", OptType::Int, "64", "", "serve",
+     "admission-queue coalescing cap"},
+    {"batch-window-us", OptType::Int, "200", "", "serve",
+     "linger for stragglers once a request lands"},
+    {"max-queue", OptType::Int, "1024", "", "serve",
+     "pending-request bound (readers block past it)"},
+    {"ping", OptType::Flag, "", "", "serve", "probe a running daemon"},
+    {"reload", OptType::Flag, "", "", "serve",
+     "ask a running daemon to hot-swap its model"},
+    {"stop", OptType::Flag, "", "", "serve",
+     "ask a running daemon to drain and exit"},
 };
 
-/// Malformed command line; main() reports it with a usage hint and exit 2.
-struct UsageError : std::runtime_error {
-    using std::runtime_error::runtime_error;
-};
-
-/// Flags that take no value; everything else written as "--key" demands one.
-const std::set<std::string>& boolean_flags() {
-    static const std::set<std::string> flags = {"json", "all"};
-    return flags;
+const std::vector<std::string>& command_names() {
+    static const std::vector<std::string> names = {
+        "gen", "train", "estimate", "dse", "serve",
+        "lint", "cache", "version"};
+    return names;
 }
 
-Args parse(int argc, char** argv) {
-    Args a;
-    if (argc >= 2) a.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--", 0) == 0) {
-            const std::string key = arg.substr(2);
-            if (boolean_flags().count(key)) {
-                a.options.insert_or_assign(key, std::string("1"));
-                continue;
-            }
-            // "--key value": a trailing flag or one followed by another
-            // option is missing its value — error out instead of quietly
-            // parsing a bogus placeholder.
-            if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
-                throw UsageError("option --" + key + " requires a value");
-            a.options[key] = argv[++i];
-        } else {
-            a.positional.push_back(arg);
-        }
-    }
-    return a;
-}
-
-/// Apply --jobs (gen/train/estimate/dse) before any parallel work starts.
-void apply_jobs(const Args& a) {
+/// Apply --jobs (gen/train/estimate/dse/serve) before any parallel work.
+void apply_jobs(const Parsed& a) {
     if (!a.has("jobs")) return;
     const int jobs = a.get_int("jobs", 0);
     if (jobs < 1) throw UsageError("--jobs must be a positive integer");
     util::set_parallel_jobs(jobs);
 }
 
-/// Metrics destination: --metrics wins, POWERGEAR_METRICS is the fallback.
-/// Empty = observability stays off (the probes cost one atomic load each).
-std::string metrics_path(const Args& a) {
-    if (a.has("metrics")) {
-        const std::string path = a.get("metrics");
-        if (path.empty()) throw UsageError("--metrics needs a file path");
-        return path;
-    }
-    return util::env_string("POWERGEAR_METRICS", "");
-}
+/// Metrics destination: --metrics wins, POWERGEAR_METRICS is the fallback
+/// (resolved by the option spec). Empty = observability stays off (the
+/// probes cost one atomic load each).
+std::string metrics_path(const Parsed& a) { return a.get("metrics"); }
 
 /// Turn recording on before the command runs (clearing anything a previous
 /// in-process run left behind).
@@ -159,11 +176,11 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 /// Pipeline-cache root: --cache-dir wins, POWERGEAR_CACHE is the fallback,
 /// both empty = caching off.
-std::string cache_dir_of(const Args& a) {
+std::string cache_dir_of(const Parsed& a) {
     return io::Cache::resolve(a.get("cache-dir")).root();
 }
 
-dataset::GeneratorOptions generator_options(const Args& a) {
+dataset::GeneratorOptions generator_options(const Parsed& a) {
     dataset::GeneratorOptions o;
     o.samples_per_dataset = a.get_int("samples", 24);
     o.problem_size = a.get_int("size", 16);
@@ -172,12 +189,12 @@ dataset::GeneratorOptions generator_options(const Args& a) {
     return o;
 }
 
-dataset::PowerKind kind_of(const Args& a) {
+dataset::PowerKind kind_of(const Parsed& a) {
     return a.get("kind", "total") == "dynamic" ? dataset::PowerKind::Dynamic
                                                : dataset::PowerKind::Total;
 }
 
-int cmd_gen(const Args& a) {
+int cmd_gen(const Parsed& a) {
     const std::string kernel = a.get("kernel", "gemm");
     const dataset::Dataset ds =
         dataset::generate_dataset(kernel, generator_options(a));
@@ -206,7 +223,7 @@ int cmd_gen(const Args& a) {
     return 0;
 }
 
-int cmd_train(const Args& a) {
+int cmd_train(const Parsed& a) {
     const auto kernels = split_list(a.get("kernels", "atax,bicg,gemm"));
     if (kernels.empty() || !a.has("out")) {
         std::fprintf(stderr, "error: train needs --kernels and --out\n");
@@ -242,7 +259,7 @@ int cmd_train(const Args& a) {
     return 0;
 }
 
-int cmd_estimate(const Args& a) {
+int cmd_estimate(const Parsed& a) {
     if (!a.has("model") || !a.has("kernel")) {
         std::fprintf(stderr, "error: estimate needs --model and --kernel\n");
         return 1;
@@ -276,7 +293,7 @@ int cmd_estimate(const Args& a) {
     return 0;
 }
 
-int cmd_dse(const Args& a) {
+int cmd_dse(const Parsed& a) {
     const std::string target = a.get("kernel", "atax");
     const auto train_kernels = split_list(a.get("train", "bicg,gemm,syrk"));
     std::vector<dataset::Dataset> suite;
@@ -308,16 +325,98 @@ int cmd_dse(const Args& a) {
     return 0;
 }
 
-int cmd_lint(const Args& a) {
+// The daemon the signal handlers poke. Handlers may only touch lock-free
+// atomics, which is exactly what poke_stop/poke_reload are.
+core::serve::Server* g_server = nullptr;
+
+void serve_signal(int sig) {
+    if (!g_server) return;
+    if (sig == SIGHUP)
+        g_server->poke_reload();
+    else
+        g_server->poke_stop();
+}
+
+int cmd_serve(const Parsed& a) {
+    const std::string socket = a.get("socket");
+    if (socket.empty()) {
+        std::fprintf(stderr,
+                     "error: serve needs --socket PATH (or POWERGEAR_SOCKET)\n");
+        return 1;
+    }
+
+    // Client one-shots against a running daemon.
+    if (a.flag("ping") || a.flag("reload") || a.flag("stop")) {
+        core::serve::Client client(socket);
+        if (a.flag("ping")) {
+            const auto info = client.ping();
+            std::printf("pong: generation %llu, %u member(s)\n",
+                        static_cast<unsigned long long>(info.generation),
+                        info.members);
+        }
+        if (a.flag("reload")) {
+            const auto info = client.reload();
+            std::printf("reloaded: generation %llu, %u member(s)\n",
+                        static_cast<unsigned long long>(info.generation),
+                        info.members);
+        }
+        if (a.flag("stop")) {
+            client.shutdown_server();
+            std::printf("server draining\n");
+        }
+        return 0;
+    }
+
+    if (!a.has("model")) {
+        std::fprintf(stderr, "error: serve needs --model M.pgm "
+                             "(or --ping/--reload/--stop for a running "
+                             "daemon)\n");
+        return 1;
+    }
+    core::serve::ServerConfig cfg;
+    cfg.socket_path = socket;
+    cfg.model_path = a.get("model");
+    cfg.max_batch = a.get_int("max-batch", cfg.max_batch);
+    cfg.batch_window_us = a.get_int("batch-window-us", cfg.batch_window_us);
+    cfg.max_queue = a.get_int("max-queue", cfg.max_queue);
+
+    core::serve::Server server(cfg);
+    g_server = &server;
+    std::signal(SIGHUP, serve_signal);
+    std::signal(SIGTERM, serve_signal);
+    std::signal(SIGINT, serve_signal);
+    server.start();
+    std::fprintf(stderr,
+                 "serve: listening on %s (model %s, %llu member(s); "
+                 "SIGHUP reloads, SIGTERM drains)\n",
+                 socket.c_str(), cfg.model_path.c_str(),
+                 static_cast<unsigned long long>(server.generation()));
+    server.wait();
+    std::signal(SIGHUP, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    g_server = nullptr;
+    const core::serve::Server::Stats st = server.stats();
+    std::fprintf(stderr,
+                 "serve: drained: %llu request(s) in %llu batch(es), "
+                 "%llu reload(s), %llu error(s)\n",
+                 static_cast<unsigned long long>(st.requests),
+                 static_cast<unsigned long long>(st.batches),
+                 static_cast<unsigned long long>(st.reloads),
+                 static_cast<unsigned long long>(st.errors));
+    return 0;
+}
+
+int cmd_lint(const Parsed& a) {
     // "lint <kernel>" or "lint --kernel <kernel>"; no kernel = the paper's
     // nine-kernel suite; --all = every registered kernel (paper + extended).
     std::vector<std::string> names;
-    if (a.has("all")) {
+    if (a.flag("all")) {
         names = kernels::polybench_names();
         for (const std::string& n : kernels::extended_kernel_names())
             names.push_back(n);
-    } else if (!a.positional.empty()) {
-        names.push_back(a.positional.front());
+    } else if (!a.positional().empty()) {
+        names.push_back(a.positional().front());
     } else if (a.has("kernel")) {
         names.push_back(a.get("kernel"));
     } else {
@@ -328,7 +427,7 @@ int cmd_lint(const Args& a) {
     lo.design_points = a.get_int("points", 6);
     lo.seed = static_cast<std::uint64_t>(a.get_int("seed", 42));
     const int size = a.get_int("size", 16);
-    const bool json = a.has("json");
+    const bool json = a.flag("json");
 
     analysis::Report all;
     for (const std::string& name : names) {
@@ -357,9 +456,9 @@ int cmd_lint(const Args& a) {
     return all.errors() > 0 ? 2 : 0;
 }
 
-int cmd_cache(const Args& a) {
+int cmd_cache(const Parsed& a) {
     const std::string action =
-        a.positional.empty() ? "stats" : a.positional.front();
+        a.positional().empty() ? "stats" : a.positional().front();
     if (action != "stats" && action != "clear")
         throw UsageError("cache action must be 'stats' or 'clear' (got '" +
                          action + "')");
@@ -423,6 +522,15 @@ void usage() {
         "  dse       --kernel K [--train A,B,C --budget 0.4]\n"
         "            [--jobs N] [--metrics F] [--cache-dir D]\n"
         "            explore a design space under an estimation budget\n"
+        "  serve     --model M.pgm --socket P [--max-batch N\n"
+        "            --batch-window-us U --max-queue N] [--jobs N]\n"
+        "            [--metrics F]\n"
+        "            run the estimation daemon: load the model once, answer\n"
+        "            framed requests on a Unix socket, coalesce concurrent\n"
+        "            clients into batched estimates. SIGHUP hot-swaps the\n"
+        "            model without dropping requests; SIGTERM drains.\n"
+        "            with --ping/--reload/--stop, talk to a running daemon\n"
+        "            instead (env POWERGEAR_SOCKET supplies --socket)\n"
         "  lint      [K] [--all --size S --points N --json --sarif F]\n"
         "            [--metrics F]\n"
         "            static-check the pipeline artifacts of one kernel\n"
@@ -438,8 +546,9 @@ void usage() {
         "  --jobs N       parallel runtime width (env POWERGEAR_JOBS; 1 =\n"
         "                 serial — results are bit-identical at any width)\n"
         "  --metrics F    write a powergear-obs-v1 JSON report (p50/p95/max\n"
-        "                 ms, counters incl. cache hits/misses, rates) after\n"
-        "                 the run (env POWERGEAR_METRICS)\n"
+        "                 ms, counters incl. cache hits/misses and serve\n"
+        "                 requests/batches/reloads, rates) after the run\n"
+        "                 (env POWERGEAR_METRICS)\n"
         "  --cache-dir D  content-addressed pipeline cache root (env\n"
         "                 POWERGEAR_CACHE): warm re-runs load sim traces,\n"
         "                 samples and trained ensembles bit-identically\n"
@@ -450,28 +559,41 @@ void usage() {
 
 int main(int argc, char** argv) {
     try {
-        const Args args = parse(argc, argv);
-        if (args.command == "version" || args.command == "--version")
+        const Parsed args = util::cli::parse(
+            argc, argv, kSpecs,
+            std::span<const std::string>(command_names()));
+        if (args.command() == "version" || args.command() == "--version")
             return cmd_version();
-        if (args.command == "gen" || args.command == "train" ||
-            args.command == "estimate" || args.command == "dse")
-            apply_jobs(args);
         const bool known =
-            args.command == "gen" || args.command == "train" ||
-            args.command == "estimate" || args.command == "dse" ||
-            args.command == "lint" || args.command == "cache";
+            args.command() == "gen" || args.command() == "train" ||
+            args.command() == "estimate" || args.command() == "dse" ||
+            args.command() == "serve" || args.command() == "lint" ||
+            args.command() == "cache";
         if (!known) {
+            if (!args.command().empty()) {
+                const std::string hint = util::cli::closest(
+                    args.command(),
+                    std::span<const std::string>(command_names()));
+                if (!hint.empty())
+                    std::fprintf(stderr,
+                                 "error: unknown command '%s' (did you mean "
+                                 "'%s'?)\n\n",
+                                 args.command().c_str(), hint.c_str());
+            }
             usage();
-            return args.command.empty() ? 0 : 1;
+            return args.command().empty() ? 0 : 1;
         }
+        if (args.command() != "lint" && args.command() != "cache")
+            apply_jobs(args);
         const std::string metrics = metrics_path(args);
         metrics_begin(metrics);
         int rc = 0;
-        if (args.command == "gen") rc = cmd_gen(args);
-        else if (args.command == "train") rc = cmd_train(args);
-        else if (args.command == "estimate") rc = cmd_estimate(args);
-        else if (args.command == "dse") rc = cmd_dse(args);
-        else if (args.command == "cache") rc = cmd_cache(args);
+        if (args.command() == "gen") rc = cmd_gen(args);
+        else if (args.command() == "train") rc = cmd_train(args);
+        else if (args.command() == "estimate") rc = cmd_estimate(args);
+        else if (args.command() == "dse") rc = cmd_dse(args);
+        else if (args.command() == "serve") rc = cmd_serve(args);
+        else if (args.command() == "cache") rc = cmd_cache(args);
         else rc = cmd_lint(args);
         metrics_end(metrics);
         return rc;
