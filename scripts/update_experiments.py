@@ -25,10 +25,10 @@ PERF_HEADER = [
     "",
     "| date | jobs | estimate_batch ms | estimates/s | matmul128 ms "
     "| graph_construction ms | ir_simulation ms | placement ms "
-    "| gen_warm_cache ms |",
+    "| gen_warm_cache ms | serve_pipeline16 ms |",
     "|------|------|-------------------|-------------|--------------"
     "|-----------------------|------------------|--------------"
-    "|-------------------|",
+    "|-------------------|---------------------|",
 ]
 
 
@@ -109,16 +109,25 @@ def append_perf_row(bench_json: str) -> int:
     row = (f"| {doc.get('date', '?')} | {doc.get('jobs', '?')} "
            f"| {best('estimate_batch')} | {throughput} | {best('matmul128')} "
            f"| {best('graph_construction')} | {best('ir_simulation')} "
-           f"| {best('placement')} | {best('gen_warm_cache')} |")
+           f"| {best('placement')} | {best('gen_warm_cache')} "
+           f"| {best('serve_pipeline16')} |")
 
     with open(DOC) as f:
         text = f.read()
     if PERF_MARK in text:
-        # Append below the last row of the existing table.
+        # Append below the last row of the FIRST table after the marker
+        # (later sections hold their own tables; never spill into those).
         head, _, tail = text.partition(PERF_MARK)
         lines = (PERF_MARK + tail).splitlines()
-        last_row = max(i for i, ln in enumerate(lines)
-                       if ln.startswith("|") or ln.strip() == PERF_MARK)
+        last_row = None
+        for i, ln in enumerate(lines):
+            if ln.startswith("|"):
+                last_row = i
+            elif last_row is not None:
+                break
+        if last_row is None:
+            print(f"{DOC}: no table under {PERF_MARK!r}")
+            return 1
         lines.insert(last_row + 1, row)
         text = head + "\n".join(lines) + ("\n" if not tail.endswith("\n") else "")
     else:

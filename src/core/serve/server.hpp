@@ -20,9 +20,14 @@
 //                      batch_window_us once one arrives, to coalesce
 //                      concurrent clients), snapshots the current model and
 //                      runs ONE PowerGear::estimate_batch over the whole
-//                      batch on the util::parallel pool. Per-sample results
-//                      are independent of batch composition, so coalesced
-//                      answers are bit-identical to serial estimate_batch.
+//                      batch — which itself merges the samples into
+//                      block-diagonal GraphBatch chunks and executes fused
+//                      forwards (gnn/batch.hpp). Answers remain
+//                      bit-identical to serial estimate_batch regardless of
+//                      how requests coalesce: every kernel accumulates each
+//                      output element independently over an ascending
+//                      reduction index, so batch composition never changes
+//                      per-element arithmetic (DESIGN.md §13).
 //
 // Model hot-swap: the live model is a shared_ptr<const PowerGear> plus a
 // generation counter, swapped under a mutex. In-flight batches keep their

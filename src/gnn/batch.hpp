@@ -1,0 +1,58 @@
+// Block-diagonal multi-graph batching (the PyG `Batch` idiom).
+//
+// GraphBatch::assemble concatenates the node/edge tensors of N graphs into
+// one merged GraphTensors whose adjacency is block-diagonal: node features
+// are stacked, every edge index list is shifted by the destination graph's
+// node offset, and metadata becomes one row per graph. Because the conv
+// layers only ever touch node rows through index lists, they run unchanged
+// on the merged tensors — one fused gather_matmul pass covers the whole
+// minibatch — and the per-graph readout becomes a segmented reduction over
+// the per-node graph_id vector (nn::kernels::segment_sum).
+//
+// Layout (DESIGN.md §13):
+//   node_offset[i]   first merged row of graph i (node_offset[N] = total)
+//   graph_id[r]      owning graph of merged node row r (ascending)
+//   edge offsetting  merged_idx = local_idx + node_offset[graph]
+//
+// Numerics: on the ref backend a batched forward is bit-identical per
+// sample to the unbatched forward; on the blocked backend the tiling and
+// sparsity decisions see the whole batch, so results are only guaranteed
+// within the documented <=1e-5 relative envelope (DESIGN.md §10/§13).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gnn/convs.hpp"
+
+namespace powergear::gnn {
+
+/// Whether the fused batched forward is active for minibatch training and
+/// estimate_batch. Resolved once from POWERGEAR_BATCHED (default on; set to
+/// 0 to force the per-graph oracle path) unless set_batching overrode it.
+/// (POWERGEAR_BATCH, without the D, is the bench-scale minibatch size.)
+bool batching_enabled();
+
+/// Override the batching mode at runtime (tests, parity harnesses).
+void set_batching(bool on);
+
+/// Largest batch one fused forward covers when a caller chunks an
+/// arbitrarily long sample list (evaluate_mape, estimate_batch). Bounds
+/// tape-arena memory to ~chunk-size graphs and keeps chunk × member
+/// parallelism available one level up; chunk boundaries depend only on
+/// position, so results stay deterministic for a given input order.
+inline constexpr int kBatchChunk = 32;
+
+/// N graphs merged into one block-diagonal GraphTensors plus the segment
+/// bookkeeping the readout needs.
+struct GraphBatch {
+    GraphTensors g;               ///< merged tensors; metadata is (N, meta)
+    int num_graphs = 0;
+    std::vector<int> graph_id;    ///< (total nodes) owning-graph id per row
+    std::vector<int> node_offset; ///< (num_graphs + 1) row offsets
+
+    /// Concatenate. All graphs must agree on node/metadata/edge widths.
+    static GraphBatch assemble(std::span<const GraphTensors* const> graphs);
+};
+
+} // namespace powergear::gnn

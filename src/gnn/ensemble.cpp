@@ -159,6 +159,67 @@ Ensemble::Stats Ensemble::predict_stats(const GraphTensors& g) const {
     return st;
 }
 
+std::vector<Ensemble::Stats> Ensemble::predict_stats_batch(
+    std::span<const GraphTensors* const> graphs) const {
+    if (members_.empty())
+        throw std::logic_error("Ensemble::predict before fit");
+    if (graphs.empty()) return {};
+    const std::size_t nm = members_.size();
+    const std::size_t chunk = static_cast<std::size_t>(kBatchChunk);
+    const std::size_t nchunks = (graphs.size() + chunk - 1) / chunk;
+
+    // Chunks are assembled serially up front (memcpy-bound) and shared
+    // read-only by every member task; boundaries depend only on position.
+    std::vector<GraphBatch> batches;
+    batches.reserve(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t base = c * chunk;
+        const std::size_t n = std::min(chunk, graphs.size() - base);
+        batches.push_back(GraphBatch::assemble(
+            std::span<const GraphTensors* const>(graphs.data() + base, n)));
+    }
+
+    // One fused forward per (chunk, member) task: chunk-level parallelism
+    // carries small ensembles, member-level carries small batches. Tasks are
+    // slotted by index and reduced in ascending member order, so the stats
+    // are bit-identical at any job count. The tape is thread_local: workers
+    // are persistent, so the arena stays at its high-water mark across calls
+    // instead of paying megabyte-scale first-touch faults per fused forward
+    // (predict_batch resets it on entry; results are copied out before
+    // return, so nothing borrows the arena across tasks).
+    const std::vector<std::vector<float>> preds =
+        util::parallel_map<std::vector<float>>(
+            nchunks * nm, [&](std::size_t task) {
+                thread_local nn::Tape t;
+                return members_[task % nm]->predict_batch(batches[task / nm],
+                                                          t);
+            });
+
+    std::vector<Stats> out(graphs.size());
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t base = c * chunk;
+        const int bn = batches[c].num_graphs;
+        for (int i = 0; i < bn; ++i) {
+            double mean = 0.0;
+            for (std::size_t m = 0; m < nm; ++m)
+                mean += preds[c * nm + m][static_cast<std::size_t>(i)];
+            mean /= static_cast<double>(nm);
+            double var = 0.0;
+            for (std::size_t m = 0; m < nm; ++m) {
+                const double p =
+                    preds[c * nm + m][static_cast<std::size_t>(i)];
+                var += (p - mean) * (p - mean);
+            }
+            var /= static_cast<double>(nm);
+            Stats st;
+            st.mean = static_cast<float>(mean);
+            st.spread = static_cast<float>(std::sqrt(var));
+            out[base + static_cast<std::size_t>(i)] = st;
+        }
+    }
+    return out;
+}
+
 double Ensemble::evaluate_mape(std::span<const GraphTensors* const> graphs,
                                std::span<const float> targets) const {
     if (graphs.size() != targets.size())

@@ -48,6 +48,16 @@ public:
     /// Average plus member spread in one pass over the members.
     Stats predict_stats(const GraphTensors& g) const;
 
+    /// Batched predict_stats: samples are merged into block-diagonal chunks
+    /// of at most gnn::kBatchChunk graphs (assembled once, serially) and
+    /// each member runs one fused forward per chunk; tasks fan out over
+    /// (chunk × member) with a fixed slot-ordered reduction, so results are
+    /// bit-identical at any POWERGEAR_JOBS value. Per sample this matches
+    /// predict_stats exactly on the ref backend and within 1e-5 relative on
+    /// blocked (DESIGN.md §13).
+    std::vector<Stats> predict_stats_batch(
+        std::span<const GraphTensors* const> graphs) const;
+
     /// MAPE (%) against targets; per-sample predictions fan out over the
     /// parallel pool, the reduction order stays fixed (bit-identical).
     double evaluate_mape(std::span<const GraphTensors* const> graphs,

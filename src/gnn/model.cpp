@@ -95,6 +95,42 @@ int PowerModel::forward(nn::Tape& t, const GraphTensors& g, bool training) {
     return head_->forward(t, holistic);
 }
 
+int PowerModel::forward_batch(nn::Tape& t, const GraphBatch& b,
+                              bool training) {
+    // Width checks run on the merged tensors (check_model_inputs validates
+    // column widths only; per-graph shape checks happened when each sample's
+    // tensors were built). The conv layers are index-local, so they run on
+    // the block-diagonal batch unchanged; only the readout needs the
+    // graph_id segmentation.
+    if (analysis::checks_enabled()) {
+        analysis::Report r = analysis::check_model_inputs(
+            cfg_.node_dim, cfg_.metadata_dim, cfg_.edge_dim, cfg_.metadata,
+            b.g);
+        analysis::require_clean(r, "PowerModel::forward_batch");
+    }
+    const std::span<const int> seg(b.graph_id);
+    int h = t.input_view(b.g.x);
+    int pooled = -1;
+    for (auto& conv : convs_) {
+        h = conv->forward(t, b.g, h);
+        if (cfg_.dropout > 0.0f)
+            h = t.dropout(h, cfg_.dropout, rng_, training);
+        if (cfg_.jumping_knowledge) {
+            const int layer_pool = t.segment_sum(h, seg, b.num_graphs);
+            pooled = pooled < 0 ? layer_pool : t.add(pooled, layer_pool);
+        }
+    }
+    if (!cfg_.jumping_knowledge) pooled = t.segment_sum(h, seg, b.num_graphs);
+    pooled = t.scale(pooled, 1.0f / 32.0f);
+
+    int holistic = pooled;
+    if (cfg_.metadata) {
+        const int hm = meta_fc_->forward_relu(t, t.input_view(b.g.metadata));
+        holistic = t.concat_cols(pooled, hm);
+    }
+    return head_->forward(t, holistic);
+}
+
 float PowerModel::predict(const GraphTensors& g) {
     nn::Tape t;
     return predict(g, t);
@@ -104,6 +140,17 @@ float PowerModel::predict(const GraphTensors& g, nn::Tape& t) {
     t.reset();
     const int out = forward(t, g, /*training=*/false);
     return t.value(out).at(0, 0);
+}
+
+std::vector<float> PowerModel::predict_batch(const GraphBatch& b,
+                                             nn::Tape& t) {
+    t.reset();
+    const int out = forward_batch(t, b, /*training=*/false);
+    const nn::Tensor& v = t.value(out);
+    std::vector<float> preds(static_cast<std::size_t>(b.num_graphs));
+    for (int i = 0; i < b.num_graphs; ++i)
+        preds[static_cast<std::size_t>(i)] = v.at(i, 0);
+    return preds;
 }
 
 double PowerModel::train_epoch(const std::vector<const GraphTensors*>& graphs,
@@ -123,14 +170,30 @@ double PowerModel::train_epoch(const std::vector<const GraphTensors*>& graphs,
         const std::size_t end =
             std::min(order.size(), start + static_cast<std::size_t>(batch_size));
         t.reset();
-        std::vector<int> preds;
         std::vector<float> ys;
-        for (std::size_t i = start; i < end; ++i) {
-            const int idx = order[i];
-            preds.push_back(forward(t, *graphs[static_cast<std::size_t>(idx)], true));
-            ys.push_back(targets[static_cast<std::size_t>(idx)]);
+        ys.reserve(end - start);
+        for (std::size_t i = start; i < end; ++i)
+            ys.push_back(targets[static_cast<std::size_t>(order[i])]);
+        // The fused path assembles the minibatch block-diagonally and runs
+        // one forward; the batch must stay alive through backward() (the
+        // tape borrows its node features and graph ids).
+        GraphBatch batch;
+        int loss;
+        if (batching_enabled()) {
+            std::vector<const GraphTensors*> members;
+            members.reserve(end - start);
+            for (std::size_t i = start; i < end; ++i)
+                members.push_back(graphs[static_cast<std::size_t>(order[i])]);
+            batch = GraphBatch::assemble(members);
+            const int preds = forward_batch(t, batch, true);
+            loss = t.mape_loss_rows(preds, ys);
+        } else {
+            std::vector<int> preds;
+            for (std::size_t i = start; i < end; ++i)
+                preds.push_back(forward(
+                    t, *graphs[static_cast<std::size_t>(order[i])], true));
+            loss = t.mape_loss(preds, ys);
         }
-        const int loss = t.mape_loss(preds, ys);
         adam_->zero_grad();
         t.backward(loss);
         // Catch exploding/NaN gradients before the optimizer folds them into
@@ -149,13 +212,29 @@ double PowerModel::evaluate_mape(const std::vector<const GraphTensors*>& graphs,
                                  const std::vector<float>& targets) {
     if (graphs.size() != targets.size())
         throw std::invalid_argument("evaluate_mape: size mismatch");
+    if (graphs.empty()) return 0.0;
     double s = 0.0;
     nn::Tape t;
-    for (std::size_t i = 0; i < graphs.size(); ++i) {
-        const float p = predict(*graphs[i], t);
-        s += std::abs(p - targets[i]) / std::max(1e-9f, std::abs(targets[i]));
+    if (batching_enabled()) {
+        const std::size_t chunk = static_cast<std::size_t>(kBatchChunk);
+        for (std::size_t start = 0; start < graphs.size(); start += chunk) {
+            const std::size_t n = std::min(chunk, graphs.size() - start);
+            const GraphBatch b = GraphBatch::assemble(
+                std::span<const GraphTensors* const>(graphs.data() + start,
+                                                     n));
+            const std::vector<float> preds = predict_batch(b, t);
+            for (std::size_t i = 0; i < n; ++i)
+                s += std::abs(preds[i] - targets[start + i]) /
+                     std::max(1e-9f, std::abs(targets[start + i]));
+        }
+    } else {
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+            const float p = predict(*graphs[i], t);
+            s += std::abs(p - targets[i]) /
+                 std::max(1e-9f, std::abs(targets[i]));
+        }
     }
-    return graphs.empty() ? 0.0 : 100.0 * s / static_cast<double>(graphs.size());
+    return 100.0 * s / static_cast<double>(graphs.size());
 }
 
 } // namespace powergear::gnn

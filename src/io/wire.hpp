@@ -18,9 +18,12 @@
 //
 // An Estimate request carries one encoded dataset::Sample (the "sample"
 // stage payload bytes, io::encode_sample); the admission queue coalesces
-// many concurrent requests into one PowerGear::estimate_batch call, so a
-// client wanting batch semantics simply pipelines N requests and reads N
-// responses (matched by id — control responses may interleave).
+// many concurrent requests into one PowerGear::estimate_batch call — one
+// fused block-diagonal forward per chunk of up to gnn::kBatchChunk samples
+// (gnn/batch.hpp) — so a client wanting batch semantics simply pipelines N
+// requests and reads N responses (matched by id — control responses may
+// interleave). Coalescing never changes a result: per-sample answers are
+// independent of batch composition (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>

@@ -310,6 +310,69 @@ int Tape::sum_rows(int x) {
     });
 }
 
+int Tape::segment_sum_impl(int x, std::span<const int> seg, int num_segs,
+                           std::shared_ptr<const void> keep) {
+    const Tensor& xv = value(x);
+    if (static_cast<int>(seg.size()) != xv.rows())
+        throw std::invalid_argument("Tape::segment_sum: segment id count");
+    for (const int s : seg)
+        if (s < 0 || s >= num_segs)
+            throw std::invalid_argument("Tape::segment_sum: id out of range");
+    const int rows = xv.rows(), cols = xv.cols();
+    Tensor out = make(num_segs, cols);
+    k::segment_sum(rows, cols, xv.data(), seg.data(), num_segs, out.data());
+    const int* sp = seg.data();
+    return push(std::move(out),
+                [x, sp, rows, keep = std::move(keep)](Tape& t, int self) {
+                    const Tensor& g =
+                        t.nodes_[static_cast<std::size_t>(self)].grad;
+                    if (g.empty()) return;
+                    k::segment_sum_backward(rows, g.cols(), g.data(), sp,
+                                            t.grad_buf(x).data());
+                });
+}
+
+int Tape::segment_sum(int x, std::span<const int> seg, int num_segs) {
+    return segment_sum_impl(x, seg, num_segs, nullptr);
+}
+
+int Tape::segment_sum(int x, std::vector<int> seg, int num_segs) {
+    auto keep = std::make_shared<const std::vector<int>>(std::move(seg));
+    return segment_sum_impl(x, std::span<const int>(*keep), num_segs, keep);
+}
+
+int Tape::segment_mean_impl(int x, std::span<const int> seg, int num_segs,
+                            std::shared_ptr<const void> keep) {
+    const Tensor& xv = value(x);
+    if (static_cast<int>(seg.size()) != xv.rows())
+        throw std::invalid_argument("Tape::segment_mean: segment id count");
+    for (const int s : seg)
+        if (s < 0 || s >= num_segs)
+            throw std::invalid_argument("Tape::segment_mean: id out of range");
+    const int rows = xv.rows(), cols = xv.cols();
+    Tensor out = make(num_segs, cols);
+    k::segment_mean(rows, cols, xv.data(), seg.data(), num_segs, out.data());
+    const int* sp = seg.data();
+    return push(std::move(out),
+                [x, sp, rows, num_segs, keep = std::move(keep)](Tape& t,
+                                                                int self) {
+                    const Tensor& g =
+                        t.nodes_[static_cast<std::size_t>(self)].grad;
+                    if (g.empty()) return;
+                    k::segment_mean_backward(rows, g.cols(), g.data(), sp,
+                                             num_segs, t.grad_buf(x).data());
+                });
+}
+
+int Tape::segment_mean(int x, std::span<const int> seg, int num_segs) {
+    return segment_mean_impl(x, seg, num_segs, nullptr);
+}
+
+int Tape::segment_mean(int x, std::vector<int> seg, int num_segs) {
+    auto keep = std::make_shared<const std::vector<int>>(std::move(seg));
+    return segment_mean_impl(x, std::span<const int>(*keep), num_segs, keep);
+}
+
 int Tape::scale(int x, float s) {
     const Tensor& xv = value(x);
     Tensor out = make(xv.rows(), xv.cols());
@@ -350,6 +413,38 @@ int Tape::mape_loss(const std::vector<int>& preds,
             const float y = (*ts)[i];
             const float sign = p >= y ? 1.0f : -1.0f;
             t.grad_buf((*ps)[i]).at(0, 0) += gs * sign / std::abs(y);
+        }
+    });
+}
+
+int Tape::mape_loss_rows(int preds, const std::vector<float>& targets) {
+    const Tensor& pv = value(preds);
+    if (pv.cols() != 1 || pv.rows() != static_cast<int>(targets.size()) ||
+        targets.empty())
+        throw std::invalid_argument("Tape::mape_loss_rows: shape mismatch");
+    const int b = pv.rows();
+    double loss = 0.0;
+    for (int i = 0; i < b; ++i) {
+        const float p = pv.at(i, 0);
+        const float y = targets[static_cast<std::size_t>(i)];
+        if (std::abs(y) < 1e-9f)
+            throw std::invalid_argument("Tape::mape_loss_rows: zero target");
+        loss += std::abs(p - y) / std::abs(y);
+    }
+    Tensor out = make(1, 1);
+    out.at(0, 0) = static_cast<float>(loss / static_cast<double>(b));
+    auto ts = std::make_shared<const std::vector<float>>(targets);
+    return push(std::move(out), [preds, b, ts](Tape& t, int self) {
+        const Tensor& g = t.nodes_[static_cast<std::size_t>(self)].grad;
+        if (g.empty()) return;
+        const float gs = g.at(0, 0) / static_cast<float>(b);
+        const Tensor& pv = t.value(preds);
+        Tensor& pg = t.grad_buf(preds);
+        for (int i = 0; i < b; ++i) {
+            const float p = pv.at(i, 0);
+            const float y = (*ts)[static_cast<std::size_t>(i)];
+            const float sign = p >= y ? 1.0f : -1.0f;
+            pg.at(i, 0) += gs * sign / std::abs(y);
         }
     });
 }

@@ -90,11 +90,24 @@ public:
     int concat_cols(int a, int b);
     /// Column-wise sum: (n,d) -> (1,d); the sum-pooling readout.
     int sum_rows(int x);
+    /// Segmented column-wise sum: (n,d) -> (num_segs,d), row r accumulated
+    /// into output row seg[r] in ascending row order (a one-segment call is
+    /// bit-identical to sum_rows). seg values must lie in [0, num_segs).
+    /// The span overload borrows the ids (lifetime as input_view); the
+    /// vector overload takes ownership.
+    int segment_sum(int x, std::span<const int> seg, int num_segs);
+    int segment_sum(int x, std::vector<int> seg, int num_segs);
+    /// Segmented mean; empty segments produce exactly-zero output rows.
+    int segment_mean(int x, std::span<const int> seg, int num_segs);
+    int segment_mean(int x, std::vector<int> seg, int num_segs);
     int scale(int x, float s);
 
     /// Mean absolute percentage error over scalar (1,1) prediction nodes.
     /// Returns a scalar (1,1) loss node. Targets must be nonzero.
     int mape_loss(const std::vector<int>& preds, const std::vector<float>& targets);
+    /// MAPE over the B rows of one (B,1) prediction node — the batched
+    /// readout form. Same arithmetic order as mape_loss over B scalar nodes.
+    int mape_loss_rows(int preds, const std::vector<float>& targets);
 
     void backward(int node);
 
@@ -124,6 +137,10 @@ private:
 
     int gather_rows_impl(int x, std::span<const int> idx,
                          std::shared_ptr<const void> keep);
+    int segment_sum_impl(int x, std::span<const int> seg, int num_segs,
+                         std::shared_ptr<const void> keep);
+    int segment_mean_impl(int x, std::span<const int> seg, int num_segs,
+                          std::shared_ptr<const void> keep);
     int scatter_add_rows_impl(int x, std::span<const int> idx, int out_rows,
                               std::shared_ptr<const void> keep);
     int scale_rows_impl(int x, std::span<const float> weights,

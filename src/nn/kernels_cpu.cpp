@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "nn/kernels_cpu_isa.hpp"
 #include "util/env.hpp"
@@ -88,6 +89,55 @@ void gather_matmul_ref_impl(int e, int k, int n, const float* x,
             const float* brow = w + row(p, n);
             for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
         }
+    }
+}
+
+// --- segmented reductions ----------------------------------------------------
+// Ascending-row accumulation into the destination segment row. With one
+// segment this is exactly the vacc row loop, which is what makes the batched
+// readout bit-identical to the unbatched sum_rows pooling on this backend.
+
+void segment_sum_ref_impl(int rows, int cols, const float* x, const int* seg,
+                          int num_segs, float* out) {
+    zero_fill(out, row(num_segs, cols));
+    for (int r = 0; r < rows; ++r) {
+        const float* xr = x + row(r, cols);
+        float* dst = out + row(seg[r], cols);
+        for (int c = 0; c < cols; ++c) dst[c] += xr[c];
+    }
+}
+
+void segment_sum_backward_ref_impl(int rows, int cols, const float* g,
+                                   const int* seg, float* dx) {
+    for (int r = 0; r < rows; ++r) {
+        const float* gr = g + row(seg[r], cols);
+        float* dr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) dr[c] += gr[c];
+    }
+}
+
+void segment_mean_ref_impl(int rows, int cols, const float* x, const int* seg,
+                           int num_segs, float* out) {
+    segment_sum_ref_impl(rows, cols, x, seg, num_segs, out);
+    std::vector<int> count(static_cast<std::size_t>(num_segs), 0);
+    for (int r = 0; r < rows; ++r) ++count[seg[r]];
+    for (int s = 0; s < num_segs; ++s) {
+        if (count[s] == 0) continue;  // empty segment rows stay exactly zero
+        const float inv = 1.0f / static_cast<float>(count[s]);
+        float* dst = out + row(s, cols);
+        for (int c = 0; c < cols; ++c) dst[c] *= inv;
+    }
+}
+
+void segment_mean_backward_ref_impl(int rows, int cols, const float* g,
+                                    const int* seg, int num_segs, float* dx) {
+    std::vector<int> count(static_cast<std::size_t>(num_segs), 0);
+    for (int r = 0; r < rows; ++r) ++count[seg[r]];
+    for (int r = 0; r < rows; ++r) {
+        const float inv = 1.0f / static_cast<float>(count[seg[r]]);
+        const float* gr = g + row(seg[r], cols);
+        float* dr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) dr[c] += gr[c] * inv;
     }
 }
 
@@ -213,6 +263,32 @@ void scatter_matmul_nt_acc(int e, int k, int n, const float* g, const float* w,
     }
 }
 
+// --- segmented reductions ----------------------------------------------------
+
+void segment_sum(int rows, int cols, const float* x, const int* seg,
+                 int num_segs, float* out) {
+    if (blocked()) ops().segment_sum(rows, cols, x, seg, num_segs, out);
+    else segment_sum_ref_impl(rows, cols, x, seg, num_segs, out);
+}
+
+void segment_sum_backward(int rows, int cols, const float* g, const int* seg,
+                          float* dx) {
+    if (blocked()) ops().segment_sum_backward(rows, cols, g, seg, dx);
+    else segment_sum_backward_ref_impl(rows, cols, g, seg, dx);
+}
+
+void segment_mean(int rows, int cols, const float* x, const int* seg,
+                  int num_segs, float* out) {
+    if (blocked()) ops().segment_mean(rows, cols, x, seg, num_segs, out);
+    else segment_mean_ref_impl(rows, cols, x, seg, num_segs, out);
+}
+
+void segment_mean_backward(int rows, int cols, const float* g, const int* seg,
+                           int num_segs, float* dx) {
+    if (blocked()) ops().segment_mean_backward(rows, cols, g, seg, num_segs, dx);
+    else segment_mean_backward_ref_impl(rows, cols, g, seg, num_segs, dx);
+}
+
 // --- fixed-backend entry points ----------------------------------------------
 
 void matmul_ref(int m, int k, int n, const float* a, const float* b, float* c) {
@@ -245,6 +321,22 @@ void gather_matmul_ref(int e, int k, int n, const float* x, const int* idx,
 void gather_matmul_blocked(int e, int k, int n, const float* x, const int* idx,
                            const float* w, float* out) {
     ops().gather_matmul(e, k, n, x, idx, w, out);
+}
+void segment_sum_ref(int rows, int cols, const float* x, const int* seg,
+                     int num_segs, float* out) {
+    segment_sum_ref_impl(rows, cols, x, seg, num_segs, out);
+}
+void segment_sum_blocked(int rows, int cols, const float* x, const int* seg,
+                         int num_segs, float* out) {
+    ops().segment_sum(rows, cols, x, seg, num_segs, out);
+}
+void segment_mean_ref(int rows, int cols, const float* x, const int* seg,
+                      int num_segs, float* out) {
+    segment_mean_ref_impl(rows, cols, x, seg, num_segs, out);
+}
+void segment_mean_blocked(int rows, int cols, const float* x, const int* seg,
+                          int num_segs, float* out) {
+    ops().segment_mean(rows, cols, x, seg, num_segs, out);
 }
 
 // --- fused elementwise epilogues ---------------------------------------------

@@ -56,6 +56,20 @@ struct BlockedOps {
                           float* dx);
     void (*vadd)(std::size_t n, const float* a, const float* b, float* out);
     void (*vacc)(std::size_t n, const float* src, float* dst);
+    // Segmented reductions for the batched multi-graph readout. The forward
+    // kernels and sum backward contain no multiply-add expressions (the
+    // mean's scale is a lone multiply), so their results are identical in
+    // both translation units like the epilogues. segment_mean_backward has a
+    // g*inv accumulate the AVX2 unit may contract to FMA — gradients stay
+    // within the documented 1e-5 envelope like the matmuls.
+    void (*segment_sum)(int rows, int cols, const float* x, const int* seg,
+                        int num_segs, float* out);
+    void (*segment_sum_backward)(int rows, int cols, const float* g,
+                                 const int* seg, float* dx);
+    void (*segment_mean)(int rows, int cols, const float* x, const int* seg,
+                         int num_segs, float* out);
+    void (*segment_mean_backward)(int rows, int cols, const float* g,
+                                  const int* seg, int num_segs, float* dx);
 };
 
 /// Blocked kernels compiled at the build's baseline ISA. Always available.

@@ -411,6 +411,70 @@ void vacc_impl(std::size_t n, const float* PG_RESTRICT src,
     for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
+// --- segmented reductions ----------------------------------------------------
+// Ascending-row accumulation into the destination segment row — identical
+// op order to the ref kernels, so the forward kernels (pure adds, plus the
+// mean's lone-multiply scale) match the ref backend bit-for-bit in every
+// translation unit; only segment_mean_backward's g*inv accumulate may FMA-
+// contract on AVX2 (see kernels_cpu_isa.hpp). Destination rows repeat
+// across source rows, so the r loop stays sequential.
+
+/// Per-thread segment-count scratch (mean kernels); sized to num_segs.
+std::vector<int>& segment_count_scratch() {
+    thread_local std::vector<int> s;
+    return s;
+}
+
+void segment_sum_impl(int rows, int cols, const float* PG_RESTRICT x,
+                      const int* PG_RESTRICT seg, int num_segs,
+                      float* PG_RESTRICT out) {
+    zero_fill(out, row(num_segs, cols));
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT xr = x + row(r, cols);
+        float* PG_RESTRICT dst = out + row(seg[r], cols);
+        for (int c = 0; c < cols; ++c) dst[c] += xr[c];
+    }
+}
+
+void segment_sum_backward_impl(int rows, int cols, const float* PG_RESTRICT g,
+                               const int* PG_RESTRICT seg,
+                               float* PG_RESTRICT dx) {
+    for (int r = 0; r < rows; ++r) {
+        const float* PG_RESTRICT gr = g + row(seg[r], cols);
+        float* PG_RESTRICT dr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) dr[c] += gr[c];
+    }
+}
+
+void segment_mean_impl(int rows, int cols, const float* PG_RESTRICT x,
+                       const int* PG_RESTRICT seg, int num_segs,
+                       float* PG_RESTRICT out) {
+    segment_sum_impl(rows, cols, x, seg, num_segs, out);
+    std::vector<int>& count = segment_count_scratch();
+    count.assign(static_cast<std::size_t>(num_segs), 0);
+    for (int r = 0; r < rows; ++r) ++count[seg[r]];
+    for (int s = 0; s < num_segs; ++s) {
+        if (count[s] == 0) continue;  // empty segment rows stay exactly zero
+        const float inv = 1.0f / static_cast<float>(count[s]);
+        float* PG_RESTRICT dst = out + row(s, cols);
+        for (int c = 0; c < cols; ++c) dst[c] *= inv;
+    }
+}
+
+void segment_mean_backward_impl(int rows, int cols, const float* PG_RESTRICT g,
+                                const int* PG_RESTRICT seg, int num_segs,
+                                float* PG_RESTRICT dx) {
+    std::vector<int>& count = segment_count_scratch();
+    count.assign(static_cast<std::size_t>(num_segs), 0);
+    for (int r = 0; r < rows; ++r) ++count[seg[r]];
+    for (int r = 0; r < rows; ++r) {
+        const float inv = 1.0f / static_cast<float>(count[seg[r]]);
+        const float* PG_RESTRICT gr = g + row(seg[r], cols);
+        float* PG_RESTRICT dr = dx + row(r, cols);
+        for (int c = 0; c < cols; ++c) dr[c] += gr[c] * inv;
+    }
+}
+
 } // namespace
 
 const BlockedOps& PG_BLOCKED_OPS_FACTORY() {
@@ -432,6 +496,10 @@ const BlockedOps& PG_BLOCKED_OPS_FACTORY() {
         &relu_backward_impl,
         &vadd_impl,
         &vacc_impl,
+        &segment_sum_impl,
+        &segment_sum_backward_impl,
+        &segment_mean_impl,
+        &segment_mean_backward_impl,
     };
     return ops;
 }

@@ -274,3 +274,161 @@ TEST(KernelsCpu, JobsCountDoesNotChangeResultsPerBackend) {
                 << "backend " << backend_name(be) << " task " << t;
     }
 }
+
+// --- segmented reductions (graph-batch readout, DESIGN.md §13) ---------------
+
+namespace {
+
+/// Random segment map over `rows` rows into [0, num_segs), biased so some
+/// segments stay empty and runs of equal ids appear (the batched-readout
+/// shape: ascending graph_id runs).
+std::vector<int> random_segments(Rng& rng, int rows, int num_segs) {
+    std::vector<int> seg(static_cast<std::size_t>(rows));
+    int cur = 0;
+    for (auto& s : seg) {
+        if (rng.next_double() < 0.3)
+            cur = static_cast<int>(rng.next_double() * num_segs) % num_segs;
+        s = cur;
+    }
+    return seg;
+}
+
+} // namespace
+
+TEST(KernelsCpu, SegmentSumMatchesHandComputedOracle) {
+    // 5 rows x 3 cols into 3 segments, segment 2 left empty.
+    const std::vector<float> x = {1, 2, 3,  //
+                                  4, 5, 6,  //
+                                  7, 8, 9,  //
+                                  -1, -2, -3,  //
+                                  10, 20, 30};
+    const std::vector<int> seg = {0, 1, 0, 1, 0};
+    std::vector<float> sum(9, 99.0f);   // poisoned: must overwrite
+    std::vector<float> mean(9, -99.0f);
+    segment_sum_ref(5, 3, x.data(), seg.data(), 3, sum.data());
+    segment_mean_ref(5, 3, x.data(), seg.data(), 3, mean.data());
+    const std::vector<float> want_sum = {18, 30, 42, 3, 3, 3, 0, 0, 0};
+    EXPECT_EQ(sum, want_sum);
+    for (int c = 0; c < 3; ++c) {
+        EXPECT_FLOAT_EQ(mean[static_cast<std::size_t>(c)], want_sum[c] / 3.0f);
+        EXPECT_FLOAT_EQ(mean[static_cast<std::size_t>(3 + c)],
+                        want_sum[3 + c] / 2.0f);
+        EXPECT_EQ(mean[static_cast<std::size_t>(6 + c)], 0.0f); // empty: exact
+    }
+}
+
+// The forwards contain no multiply-adds, so ref and blocked (and both ISA
+// legs of blocked) must agree bit-for-bit — not just within 1e-5. Shapes
+// include rows=0, cols=0, single segment, and all-empty segments.
+TEST(KernelsCpu, SegmentForwardParityIsBitExactOverRandomShapes) {
+    Rng rng(67);
+    for (const Shape& s : parity_shapes()) {
+        const int rows = s.m, cols = s.k;
+        const int num_segs = 1 + s.n % 7;
+        const auto x =
+            random_values(rng, static_cast<std::size_t>(rows) * cols);
+        const auto seg = random_segments(rng, rows, num_segs);
+        const std::size_t out_n = static_cast<std::size_t>(num_segs) * cols;
+        std::vector<float> ref(out_n, 7.0f), blk(out_n, -7.0f);
+        segment_sum_ref(rows, cols, x.data(), seg.data(), num_segs, ref.data());
+        segment_sum_blocked(rows, cols, x.data(), seg.data(), num_segs,
+                            blk.data());
+        EXPECT_EQ(ref, blk) << "segment_sum rows=" << rows << " cols=" << cols
+                            << " segs=" << num_segs;
+        segment_mean_ref(rows, cols, x.data(), seg.data(), num_segs,
+                         ref.data());
+        segment_mean_blocked(rows, cols, x.data(), seg.data(), num_segs,
+                             blk.data());
+        EXPECT_EQ(ref, blk) << "segment_mean rows=" << rows << " cols=" << cols
+                            << " segs=" << num_segs;
+    }
+}
+
+TEST(KernelsCpu, SegmentSumSingleSegmentMatchesVaccOverRows) {
+    Rng rng(71);
+    const int rows = 23, cols = 17;
+    const auto x = random_values(rng, static_cast<std::size_t>(rows) * cols);
+    const std::vector<int> seg(static_cast<std::size_t>(rows), 0);
+    std::vector<float> got(static_cast<std::size_t>(cols), 5.0f);
+    segment_sum(rows, cols, x.data(), seg.data(), 1, got.data());
+    std::vector<float> want(static_cast<std::size_t>(cols), 0.0f);
+    for (int r = 0; r < rows; ++r)
+        vacc(static_cast<std::size_t>(cols),
+             x.data() + static_cast<std::size_t>(r) * cols, want.data());
+    EXPECT_EQ(got, want); // contract: same ascending accumulation order
+}
+
+TEST(KernelsCpu, SegmentBackwardsMatchFiniteStructure) {
+    // segment_sum_backward broadcasts g[seg[r]] into row r; the mean variant
+    // additionally scales by 1/count. Both accumulate (+=), preserving prior
+    // gradient contents.
+    BackendGuard guard;
+    Rng rng(73);
+    const int rows = 9, cols = 5, num_segs = 4;
+    const auto seg = random_segments(rng, rows, num_segs);
+    const auto g =
+        random_values(rng, static_cast<std::size_t>(num_segs) * cols);
+    std::vector<int> count(static_cast<std::size_t>(num_segs), 0);
+    for (int s : seg) ++count[static_cast<std::size_t>(s)];
+    for (Backend be : {Backend::Ref, Backend::Blocked}) {
+        set_backend(be);
+        std::vector<float> dsum(static_cast<std::size_t>(rows) * cols, 0.5f);
+        std::vector<float> dmean(dsum);
+        segment_sum_backward(rows, cols, g.data(), seg.data(), dsum.data());
+        segment_mean_backward(rows, cols, g.data(), seg.data(), num_segs,
+                              dmean.data());
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c) {
+                const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+                const std::size_t gi =
+                    static_cast<std::size_t>(seg[static_cast<std::size_t>(r)]) *
+                        cols +
+                    static_cast<std::size_t>(c);
+                EXPECT_FLOAT_EQ(dsum[i], 0.5f + g[gi])
+                    << backend_name(be) << " sum r=" << r << " c=" << c;
+                const float inv =
+                    1.0f /
+                    static_cast<float>(count[static_cast<std::size_t>(
+                        seg[static_cast<std::size_t>(r)])]);
+                const float want = 0.5f + g[gi] * inv;
+                const float tol = 1e-5f * std::max(1.0f, std::abs(want));
+                EXPECT_NEAR(dmean[i], want, tol)
+                    << backend_name(be) << " mean r=" << r << " c=" << c;
+            }
+    }
+}
+
+TEST(KernelsCpu, SegmentKernelsJobsCountInvariant) {
+    namespace util = powergear::util;
+    BackendGuard guard;
+    const int rows = 31, cols = 13, num_segs = 5;
+    auto run_tasks = [&]() {
+        std::vector<std::vector<float>> outs(6);
+        util::parallel_for(outs.size(), [&](std::size_t task) {
+            Rng rng(1700 + task);
+            const auto x =
+                random_values(rng, static_cast<std::size_t>(rows) * cols);
+            const auto seg = random_segments(rng, rows, num_segs);
+            std::vector<float> out(2 * static_cast<std::size_t>(num_segs) *
+                                   cols);
+            segment_sum(rows, cols, x.data(), seg.data(), num_segs,
+                        out.data());
+            segment_mean(rows, cols, x.data(), seg.data(), num_segs,
+                         out.data() +
+                             static_cast<std::size_t>(num_segs) * cols);
+            outs[task] = std::move(out);
+        });
+        return outs;
+    };
+    for (Backend be : {Backend::Ref, Backend::Blocked}) {
+        set_backend(be);
+        util::set_parallel_jobs(1);
+        const auto serial = run_tasks();
+        util::set_parallel_jobs(4);
+        const auto pooled = run_tasks();
+        util::set_parallel_jobs(0);
+        for (std::size_t t = 0; t < serial.size(); ++t)
+            EXPECT_EQ(serial[t], pooled[t])
+                << "backend " << backend_name(be) << " task " << t;
+    }
+}
