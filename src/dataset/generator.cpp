@@ -1,6 +1,7 @@
 #include "dataset/generator.hpp"
 
 #include <optional>
+#include <stdexcept>
 
 #include "analysis/analysis.hpp"
 #include "graphgen/features.hpp"
@@ -119,19 +120,26 @@ Sample compute_sample(const ir::Function& fn, const hls::Directives& dirs,
     return smp;
 }
 
-} // namespace
+/// One design point to push through the per-point pipeline, with the
+/// identity its cache key and Sample::design_index carry (positional for
+/// generate_dataset_for, raw space index for generate_design_points).
+struct PointJob {
+    hls::Directives dirs;
+    std::uint64_t design_index = 0;
+};
 
-Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opts) {
-    const obs::Scope obs_scope(obs::Phase::DatasetGen);
+/// Shared pipeline body: lint gate, lazily-materialized sim trace, serial
+/// cache consult, parallel fan-out over the misses. Returns one Sample per
+/// job, in job order.
+std::vector<Sample> run_point_pipeline(const ir::Function& fn,
+                                       const std::vector<PointJob>& jobs,
+                                       const GeneratorOptions& opts) {
     // A malformed kernel would silently produce garbage labels for every
     // sample below, so the IR gate is unconditional (it is linear and runs
-    // once per dataset); lint warnings are tolerated, errors are not.
+    // once per batch); lint warnings are tolerated, errors are not.
     analysis::Report ir_report = analysis::lint_ir(fn);
     ir_report.set_context(fn.name);
     analysis::require_clean(ir_report, "dataset::generate_dataset_for");
-
-    Dataset ds;
-    ds.name = fn.name;
 
     const io::Cache cache(opts.cache_dir);
     const std::uint64_t ir_hash = io::hash_ir(fn);
@@ -179,21 +187,16 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
     };
     if (!cache.enabled()) ensure_trace();
 
-    const hls::DesignSpace space(fn);
-    const std::vector<hls::Directives> points =
-        space.sample(opts.samples_per_dataset);
-
     // --- sample stage: consult the cache serially (I/O-bound, cheap), then
     // fan the misses out. Loads happen before the parallel region so a
     // corrupt entry can fall back to recomputation with the trace in hand.
-    std::vector<std::optional<Sample>> ready(points.size());
-    std::vector<std::uint64_t> keys(points.size(), 0);
+    std::vector<std::optional<Sample>> ready(jobs.size());
+    std::vector<std::uint64_t> keys(jobs.size(), 0);
     std::vector<std::size_t> misses;
-    for (std::size_t p = 0; p < points.size(); ++p) {
+    for (std::size_t p = 0; p < jobs.size(); ++p) {
         if (cache.enabled()) {
             keys[p] = sample_stage_key(ir_hash, trace_hash, fn.name, opts,
-                                       points[p],
-                                       static_cast<std::uint64_t>(p));
+                                       jobs[p].dirs, jobs[p].design_index);
             if (std::optional<std::vector<std::uint8_t>> payload = cache.load(
                     io::kStageSample, keys[p], io::kSamplePayloadVersion)) {
                 try {
@@ -223,9 +226,9 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
         // back from the artifacts stored here.
         util::parallel_for(misses.size(), [&](std::size_t i) {
             const std::size_t p = misses[i];
-            Sample smp = compute_sample(fn, points[p],
-                                        static_cast<std::uint64_t>(p),
-                                        the_trace, base_report, opts);
+            Sample smp = compute_sample(fn, jobs[p].dirs,
+                                        jobs[p].design_index, the_trace,
+                                        base_report, opts);
             if (cache.enabled())
                 cache.store(io::kStageSample, keys[p],
                             io::kSamplePayloadVersion, io::encode_sample(smp));
@@ -233,11 +236,51 @@ Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opt
         });
     }
 
-    ds.samples.reserve(points.size());
-    for (std::optional<Sample>& s : ready) ds.samples.push_back(std::move(*s));
+    std::vector<Sample> out;
+    out.reserve(jobs.size());
+    for (std::optional<Sample>& s : ready) out.push_back(std::move(*s));
+    return out;
+}
+
+} // namespace
+
+Dataset generate_dataset_for(const ir::Function& fn, const GeneratorOptions& opts) {
+    const obs::Scope obs_scope(obs::Phase::DatasetGen);
+    const hls::DesignSpace space(fn);
+    const std::vector<hls::Directives> points =
+        space.sample(opts.samples_per_dataset);
+    std::vector<PointJob> jobs;
+    jobs.reserve(points.size());
+    // Positional design_index: this is the historical cache keyspace of
+    // dataset generation (sample p of the golden-ratio draw), kept stable
+    // so existing caches stay warm.
+    for (std::size_t p = 0; p < points.size(); ++p)
+        jobs.push_back(PointJob{points[p], static_cast<std::uint64_t>(p)});
+
+    Dataset ds;
+    ds.name = fn.name;
+    ds.samples = run_point_pipeline(fn, jobs, opts);
     obs::add(obs::Phase::DatasetGen, "datasets");
     obs::add(obs::Phase::DatasetGen, "samples", ds.samples.size());
     return ds;
+}
+
+std::vector<Sample> generate_design_points(
+    const ir::Function& fn, std::span<const std::uint64_t> space_indices,
+    const GeneratorOptions& opts) {
+    const obs::Scope obs_scope(obs::Phase::DatasetGen);
+    const hls::DesignSpace space(fn);
+    std::vector<PointJob> jobs;
+    jobs.reserve(space_indices.size());
+    for (const std::uint64_t idx : space_indices) {
+        if (idx >= space.size())
+            throw std::out_of_range(
+                "generate_design_points: space index out of range");
+        jobs.push_back(PointJob{space.point(idx), idx});
+    }
+    std::vector<Sample> out = run_point_pipeline(fn, jobs, opts);
+    obs::add(obs::Phase::DatasetGen, "design_points", out.size());
+    return out;
 }
 
 Dataset generate_dataset(const std::string& kernel_name,

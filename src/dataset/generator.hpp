@@ -18,6 +18,7 @@
 // cold runs produce bit-identical datasets at every POWERGEAR_JOBS value.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,5 +53,16 @@ Dataset generate_dataset_for(const ir::Function& fn,
 
 /// All nine Polybench datasets in Table I order.
 std::vector<Dataset> generate_polybench_suite(const GeneratorOptions& opts = {});
+
+/// Generate samples for explicit directive-space indices of `fn`'s
+/// hls::DesignSpace, in the given order (the streaming-DSE shard path).
+/// Unlike generate_dataset_for — whose cache keys use the *position* in its
+/// golden-ratio sample — these samples are cache-keyed on the raw space
+/// index, so sharded and unsharded sweeps of the same space address the
+/// same artifacts and every worker filling one cache deduplicates work.
+/// Throws std::out_of_range on an index >= the space size.
+std::vector<Sample> generate_design_points(
+    const ir::Function& fn, std::span<const std::uint64_t> space_indices,
+    const GeneratorOptions& opts = {});
 
 } // namespace powergear::dataset

@@ -99,7 +99,7 @@ DseResult explore(const std::vector<Point>& predicted,
         for (const Point& c : candidates) {
             if (static_cast<int>(res.sampled.size()) >= budget) break;
             sampled[static_cast<std::size_t>(c.index)] = true;
-            res.sampled.push_back(c.index);
+            res.sampled.push_back(static_cast<int>(c.index));
             promoted = true;
         }
         if (!promoted) break;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <tuple>
 
 namespace powergear::dse {
 
@@ -10,12 +11,18 @@ bool dominates(const Point& a, const Point& b) {
            (a.latency < b.latency || a.power < b.power);
 }
 
+bool point_less(const Point& a, const Point& b) {
+    return std::tie(a.latency, a.power, a.index) <
+           std::tie(b.latency, b.power, b.index);
+}
+
 std::vector<Point> pareto_front(const std::vector<Point>& points) {
     std::vector<Point> sorted = points;
-    std::sort(sorted.begin(), sorted.end(), [](const Point& a, const Point& b) {
-        if (a.latency != b.latency) return a.latency < b.latency;
-        return a.power < b.power;
-    });
+    // The index tie-break makes the sort a total order, so the surviving
+    // representative of exactly-equal (latency, power) duplicates is the
+    // lowest-index point regardless of input order (std::sort is unstable;
+    // without the tie-break the survivor's identity was unspecified).
+    std::sort(sorted.begin(), sorted.end(), point_less);
     std::vector<Point> front;
     double best_power = std::numeric_limits<double>::infinity();
     for (const Point& p : sorted) {

@@ -1,0 +1,142 @@
+#include "dse/stream.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "io/artifact.hpp"
+
+namespace powergear::dse {
+
+namespace {
+
+constexpr std::uint64_t kCursorMagic = 0x70676373'7230315FULL; // "pgcsr01_"
+
+/// Golden-ratio stride, bumped to the next value coprime to `n` so
+/// g -> (g * stride) mod n is a bijection. n - 1 is always coprime to n,
+/// so the bump terminates before wrapping.
+std::uint64_t pick_stride(std::uint64_t n) {
+    if (n <= 2) return 1;
+    auto s = static_cast<std::uint64_t>(0.6180339887498949 *
+                                        static_cast<double>(n));
+    if (s < 1) s = 1;
+    if (s >= n) s = n - 1;
+    while (std::gcd(s, n) != 1) ++s;
+    return s;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+} // namespace
+
+CandidateStream::CandidateStream(std::uint64_t space_size, std::uint64_t shard,
+                                 std::uint64_t num_shards, std::uint64_t limit)
+    : size_(space_size), shard_(shard), num_shards_(num_shards) {
+    if (size_ == 0)
+        throw std::invalid_argument("CandidateStream: empty design space");
+    if (num_shards_ == 0 || shard_ >= num_shards_)
+        throw std::invalid_argument("CandidateStream: shard out of range");
+    stride_ = pick_stride(size_);
+    positions_ = limit > 0 && limit < size_ ? limit : size_;
+    total_ = positions_ > shard_
+                 ? (positions_ - shard_ - 1) / num_shards_ + 1
+                 : 0;
+}
+
+std::optional<std::uint64_t> CandidateStream::next() {
+    if (pos_ >= total_) return std::nullopt;
+    const std::uint64_t global = pos_ * num_shards_ + shard_;
+    ++pos_;
+    return mulmod(global, stride_, size_);
+}
+
+std::size_t CandidateStream::next_chunk(std::size_t max,
+                                        std::vector<std::uint64_t>& out) {
+    std::size_t produced = 0;
+    while (produced < max) {
+        const std::optional<std::uint64_t> idx = next();
+        if (!idx) break;
+        out.push_back(*idx);
+        ++produced;
+    }
+    return produced;
+}
+
+std::uint64_t CandidateStream::signature() const {
+    return io::Hasher()
+        .feed(std::string("dse-stream"))
+        .feed(size_)
+        .feed(stride_)
+        .feed(shard_)
+        .feed(num_shards_)
+        .feed(positions_)
+        .value();
+}
+
+CandidateStream::Cursor CandidateStream::cursor() const {
+    return Cursor{signature(), pos_};
+}
+
+void CandidateStream::seek(const Cursor& c) {
+    if (c.signature != signature())
+        throw std::invalid_argument(
+            "CandidateStream::seek: cursor from a different stream geometry");
+    if (c.pos > total_)
+        throw std::invalid_argument(
+            "CandidateStream::seek: cursor position out of range");
+    pos_ = c.pos;
+}
+
+std::vector<std::uint8_t> CandidateStream::Cursor::serialize() const {
+    io::Writer w;
+    w.u64(kCursorMagic);
+    w.u64(signature);
+    w.u64(pos);
+    w.u64(io::fnv1a(w.bytes().data(), w.bytes().size()));
+    return w.bytes();
+}
+
+std::optional<CandidateStream::Cursor> CandidateStream::Cursor::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() != 32) return std::nullopt;
+    if (io::fnv1a(bytes.data(), 24) !=
+        io::Reader(bytes.data() + 24, 8).u64())
+        return std::nullopt;
+    io::Reader r(bytes.data(), 24);
+    if (r.u64() != kCursorMagic) return std::nullopt;
+    Cursor c;
+    c.signature = r.u64();
+    c.pos = r.u64();
+    return c;
+}
+
+std::uint64_t CandidateStream::num_chunks(std::uint64_t space_size,
+                                          std::uint64_t chunk,
+                                          std::uint64_t limit) {
+    if (space_size == 0 || chunk == 0) return 0;
+    const std::uint64_t positions =
+        limit > 0 && limit < space_size ? limit : space_size;
+    return (positions + chunk - 1) / chunk;
+}
+
+std::vector<std::uint64_t> CandidateStream::chunk_indices(
+    std::uint64_t space_size, std::uint64_t chunk_id, std::uint64_t chunk,
+    std::uint64_t limit) {
+    std::vector<std::uint64_t> out;
+    if (space_size == 0 || chunk == 0) return out;
+    const std::uint64_t positions =
+        limit > 0 && limit < space_size ? limit : space_size;
+    const std::uint64_t stride = pick_stride(space_size);
+    const std::uint64_t begin = chunk_id * chunk;
+    if (begin >= positions) return out;
+    const std::uint64_t end = std::min(positions, begin + chunk);
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t g = begin; g < end; ++g)
+        out.push_back(mulmod(g, stride, space_size));
+    return out;
+}
+
+} // namespace powergear::dse

@@ -1,0 +1,99 @@
+// Lazy candidate enumeration over a directive design space.
+//
+// A CandidateStream yields the indices of a design space (0..size-1) in a
+// deterministic pseudo-random order without materializing anything: the
+// visit order is the bijection  g -> (g * stride) mod size  with a stride
+// coprime to size chosen near the golden ratio, the same low-discrepancy
+// trick hls::DesignSpace::sample uses — early prefixes of the stream cover
+// the space evenly, so a budget-truncated sweep is already a decent sample.
+// Memory per stream is O(1) at any space size.
+//
+// Sharding: a stream constructed as shard s of N yields the global
+// positions congruent to s mod N, so the N shard streams partition the
+// space exactly and their union (at any interleaving) equals the unsharded
+// stream's output set. Chunk addressing (`chunk_indices`) is defined on the
+// *global* position space, shard-independent, which is what the
+// work-stealing manifest claims.
+//
+// Resumability: `cursor()` captures the stream position as a small
+// serializable record bound to a signature hash of the stream geometry
+// (size, stride, shard, limit). `seek` rejects a cursor minted by a
+// different geometry, and `Cursor::deserialize` rejects corrupt bytes
+// (checksum), so a stale or damaged cursor degrades to restarting the
+// sweep, never to silently scanning the wrong points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace powergear::dse {
+
+class CandidateStream {
+public:
+    struct Cursor {
+        std::uint64_t signature = 0; ///< stream geometry this cursor binds to
+        std::uint64_t pos = 0;       ///< next shard-local position
+
+        std::vector<std::uint8_t> serialize() const;
+        /// nullopt on truncation, bad magic or checksum mismatch.
+        static std::optional<Cursor> deserialize(
+            const std::vector<std::uint8_t>& bytes);
+    };
+
+    /// Stream over space indices [0, space_size), shard `shard` of
+    /// `num_shards` (0-based). `limit` > 0 truncates the sweep to the first
+    /// `limit` global positions of the permuted order (budget cap on huge
+    /// spaces). Throws std::invalid_argument on an empty space or
+    /// shard >= num_shards.
+    explicit CandidateStream(std::uint64_t space_size, std::uint64_t shard = 0,
+                             std::uint64_t num_shards = 1,
+                             std::uint64_t limit = 0);
+
+    std::uint64_t space_size() const { return size_; }
+    std::uint64_t stride() const { return stride_; }
+    /// Global positions this sweep covers (min(space_size, limit)).
+    std::uint64_t positions() const { return positions_; }
+    /// Points this shard yields in total.
+    std::uint64_t total() const { return total_; }
+    std::uint64_t remaining() const { return total_ - pos_; }
+    bool done() const { return pos_ >= total_; }
+
+    /// Next space index, or nullopt when the shard is drained.
+    std::optional<std::uint64_t> next();
+    /// Append up to `max` next indices to `out`; returns how many.
+    std::size_t next_chunk(std::size_t max, std::vector<std::uint64_t>& out);
+
+    Cursor cursor() const;
+    /// Resume from a cursor minted by an identically-constructed stream.
+    /// Throws std::invalid_argument on a signature mismatch or
+    /// out-of-range position.
+    void seek(const Cursor& c);
+
+    /// Geometry signature (what cursors bind to).
+    std::uint64_t signature() const;
+
+    // --- chunk addressing (work-stealing units, shard-independent) --------
+    /// Number of `chunk`-sized units covering the first
+    /// min(space_size, limit) global positions.
+    static std::uint64_t num_chunks(std::uint64_t space_size,
+                                    std::uint64_t chunk,
+                                    std::uint64_t limit = 0);
+    /// Space indices of global chunk `chunk_id` — identical for every
+    /// worker, whatever its shard.
+    static std::vector<std::uint64_t> chunk_indices(std::uint64_t space_size,
+                                                    std::uint64_t chunk_id,
+                                                    std::uint64_t chunk,
+                                                    std::uint64_t limit = 0);
+
+private:
+    std::uint64_t size_ = 0;
+    std::uint64_t stride_ = 1;
+    std::uint64_t shard_ = 0;
+    std::uint64_t num_shards_ = 1;
+    std::uint64_t positions_ = 0; ///< global positions covered by the sweep
+    std::uint64_t total_ = 0;     ///< shard-local point count
+    std::uint64_t pos_ = 0;       ///< next shard-local position
+};
+
+} // namespace powergear::dse

@@ -1,0 +1,120 @@
+// Streaming design space exploration in bounded memory (DESIGN.md §14).
+//
+// Where dse::Explorer materializes every candidate Point up front, the
+// StreamingExplorer pulls space indices from a CandidateStream in chunks
+// sized to the serve batcher, scores each chunk through a caller-supplied
+// batch scorer (typically the fused estimate_batch/GraphBatch path), and
+// folds the results into two incremental ParetoArchives: one over the
+// model's predicted power (the sampling guide) and one over ground truth.
+// Peak live state is one chunk of scored points plus the two frontiers —
+// O(chunk + |front|) at any stream length.
+//
+// Ground truth is the expensive resource (a board measurement per point),
+// so it is spent adaptively: a point is *promoted* (truth-evaluated) only
+// when it enters the predicted frontier, and — when a spread gate is set —
+// only when the ensemble's member_spread says the model is uncertain
+// enough to be worth checking (spread >= gate * running mean spread of all
+// previously scored points). Gate 0 promotes every frontier entrant.
+//
+// Determinism: chunk scoring may fan out internally (estimate_batch is
+// bit-identical at any POWERGEAR_JOBS), but archive inserts and promotion
+// decisions happen serially in stream order, so the result is bit-identical
+// at any job count and to the materialized oracle (`run_materialized`,
+// which replays the same decisions against recompute-from-scratch
+// pareto_front calls — the property suite asserts equality).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/powergear.hpp"
+#include "core/sample_pool.hpp"
+#include "dse/pareto/archive.hpp"
+#include "dse/stream.hpp"
+
+namespace powergear::dse {
+
+struct StreamConfig {
+    /// Points scored per batch; defaults to the serve batcher's max_batch.
+    std::size_t chunk = 64;
+    /// Spread gate factor g: promote a frontier entrant only when its
+    /// member_spread >= g * mean spread of previously scored points.
+    /// 0 disables the gate (every frontier entrant is promoted).
+    double spread_gate = 0.0;
+    /// Archive bounds (epsilon / max_size), applied to both frontiers.
+    ArchiveConfig archive;
+    /// Stop after scoring this many points (0 = drain the stream).
+    std::uint64_t max_points = 0;
+};
+
+/// One scored candidate: exact latency from HLS, predicted power from the
+/// model, ensemble member spread as the uncertainty signal.
+struct ScoredPoint {
+    double latency = 0.0;
+    double power = 0.0;
+    double spread = 0.0;
+};
+
+/// Batch scorer over space indices (one chunk per call, stream order).
+using ChunkScorer =
+    std::function<std::vector<ScoredPoint>(std::span<const std::uint64_t>)>;
+
+/// Ground-truth power of one promoted point (board measurement / label).
+using TruthFn =
+    std::function<double(std::uint64_t index, const ScoredPoint& scored)>;
+
+struct StreamStats {
+    std::uint64_t streamed = 0;    ///< indices pulled from the stream
+    std::uint64_t scored = 0;      ///< points scored by the model
+    std::uint64_t promoted = 0;    ///< points ground-truth evaluated
+    std::uint64_t archived = 0;    ///< accepted into the predicted frontier
+    std::uint64_t truth_evals = 0; ///< TruthFn calls (== promoted)
+};
+
+struct StreamResult {
+    std::vector<Point> predicted_front; ///< frontier under model estimates
+    std::vector<Point> true_front;      ///< frontier of promoted points, truth
+    StreamStats stats;
+    /// ADRS of true_front vs the exact frontier; -1 when the caller's exact
+    /// frontier is unknown (generic runs — compute it yourself).
+    double adrs_value = -1.0;
+};
+
+class StreamingExplorer {
+public:
+    explicit StreamingExplorer(StreamConfig cfg = {});
+
+    /// Stream -> score -> archive -> adaptively promote. The stream is
+    /// consumed from its current cursor (resume by seeking first).
+    StreamResult run(CandidateStream& stream, const ChunkScorer& score,
+                     const TruthFn& truth) const;
+
+    /// Materialized oracle: same decisions, but every frontier membership
+    /// test recomputes pareto_front from scratch over all points seen.
+    /// O(n^2 log n) — test/reference use only.
+    StreamResult run_materialized(CandidateStream& stream,
+                                  const ChunkScorer& score,
+                                  const TruthFn& truth) const;
+
+    /// Convenience over an evaluated pool: space index i = pool position i,
+    /// scorer = chunked PowerGear::estimate_batch, truth = the stored board
+    /// label. Computes the exact frontier (the pool is fully labelled) and
+    /// fills adrs_value.
+    StreamResult run(const core::SamplePool& pool,
+                     const core::PowerGear& estimator,
+                     dataset::PowerKind kind = dataset::PowerKind::Dynamic) const;
+
+    const StreamConfig& config() const { return cfg_; }
+
+private:
+    template <typename AcceptPred, typename TruthSink>
+    StreamStats drive(CandidateStream& stream, const ChunkScorer& score,
+                      const TruthFn& truth, AcceptPred&& accept,
+                      TruthSink&& sink) const;
+
+    StreamConfig cfg_;
+};
+
+} // namespace powergear::dse

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <system_error>
 
 #include "obs/obs.hpp"
@@ -86,6 +87,20 @@ std::uint64_t Cache::store(const std::string& stage, std::uint64_t key,
         // Disk-full or permission trouble: the run proceeds uncached.
     }
     return checksum;
+}
+
+std::string Cache::sidecar_path(const std::string& stage,
+                                const std::string& name) const {
+    if (!enabled())
+        throw std::runtime_error(
+            "cache: sidecar_path requires an enabled cache (set --cache-dir "
+            "or POWERGEAR_CACHE)");
+    std::error_code ec;
+    fs::create_directories(fs::path(root_) / stage, ec);
+    if (ec)
+        throw std::runtime_error("cache: cannot create " + root_ + "/" +
+                                 stage + ": " + ec.message());
+    return root_ + "/" + stage + "/" + name;
 }
 
 std::vector<Cache::StageStats> Cache::stats() const {

@@ -84,6 +84,14 @@ public:
     /// Delete every cached artifact; returns the number of files removed.
     std::uint64_t clear() const;
 
+    /// Path of a named (non-content-addressed) sidecar file inside a stage
+    /// directory, creating the directory on the way. Used for coordination
+    /// files that live next to the artifacts they govern — e.g. the DSE
+    /// shard manifest (io::Manifest) under `<root>/dse/`. Throws
+    /// std::runtime_error on a disabled cache.
+    std::string sidecar_path(const std::string& stage,
+                             const std::string& name) const;
+
 private:
     std::string root_;
 };

@@ -1,0 +1,130 @@
+#include "io/manifest.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "io/artifact.hpp"
+#include "obs/obs.hpp"
+
+namespace powergear::io {
+
+namespace {
+
+constexpr std::uint64_t kManifestMagic = 0x70676d66'73743031ULL; // "pgmfst01"
+constexpr std::uint64_t kKindClaim = 1;
+constexpr std::uint64_t kKindDone = 2;
+
+std::vector<std::uint8_t> encode_record(std::uint64_t chunk,
+                                        std::uint64_t worker,
+                                        std::uint64_t kind) {
+    Writer w;
+    w.u64(kManifestMagic);
+    w.u64(chunk);
+    w.u64(worker);
+    w.u64(kind);
+    w.u64(fnv1a(w.bytes().data(), w.bytes().size()));
+    return w.take();
+}
+
+} // namespace
+
+Manifest::Manifest(std::string path, std::uint64_t worker)
+    : path_(std::move(path)), worker_(worker) {
+    if (path_.empty())
+        throw std::invalid_argument("Manifest: empty path");
+}
+
+void Manifest::append(std::uint64_t chunk, std::uint64_t kind) const {
+    const std::vector<std::uint8_t> rec = encode_record(chunk, worker_, kind);
+    // O_APPEND: the kernel serializes position+write atomically, so records
+    // from racing workers interleave at record granularity, never byte
+    // granularity (40 bytes is far below the PIPE_BUF-style atomicity
+    // limits of regular-file appends on every platform we target).
+    const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        throw std::runtime_error("manifest: cannot open " + path_ + ": " +
+                                 std::strerror(errno));
+    const ssize_t n = ::write(fd, rec.data(), rec.size());
+    const int saved = errno;
+    ::close(fd);
+    if (n != static_cast<ssize_t>(rec.size()))
+        throw std::runtime_error("manifest: short write to " + path_ + ": " +
+                                 std::strerror(saved));
+}
+
+std::vector<Manifest::Event> Manifest::scan() const {
+    std::vector<Event> events;
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return events; // no manifest yet: everything unclaimed
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    // Fixed-size records keep the scan self-synchronizing: a corrupt record
+    // cannot shift the framing of its neighbours. A truncated tail (torn
+    // final write) is simply ignored.
+    for (std::size_t off = 0; off + kRecordSize <= bytes.size();
+         off += kRecordSize) {
+        Reader r(bytes.data() + off, kRecordSize);
+        const std::uint64_t magic = r.u64();
+        const std::uint64_t chunk = r.u64();
+        const std::uint64_t worker = r.u64();
+        const std::uint64_t kind = r.u64();
+        const std::uint64_t sum = r.u64();
+        if (magic != kManifestMagic ||
+            sum != fnv1a(bytes.data() + off, kRecordSize - 8) ||
+            (kind != kKindClaim && kind != kKindDone)) {
+            // Corrupt-entry=miss: the event becomes invisible and the chunk
+            // degrades toward recomputation, mirroring the cache contract.
+            obs::add(obs::Phase::Dse, "manifest_corrupt");
+            continue;
+        }
+        events.push_back(Event{chunk, worker, kind});
+    }
+    return events;
+}
+
+bool Manifest::claim(std::uint64_t chunk) {
+    append(chunk, kKindClaim);
+    const std::optional<std::uint64_t> who = owner(chunk);
+    return who && *who == worker_;
+}
+
+void Manifest::complete(std::uint64_t chunk) { append(chunk, kKindDone); }
+
+std::optional<std::uint64_t> Manifest::owner(std::uint64_t chunk) const {
+    for (const Event& e : scan())
+        if (e.chunk == chunk && e.kind == kKindClaim) return e.worker;
+    return std::nullopt;
+}
+
+Manifest::State Manifest::state(std::uint64_t chunk) const {
+    State s = State::Unclaimed;
+    for (const Event& e : scan()) {
+        if (e.chunk != chunk) continue;
+        if (e.kind == kKindDone) return State::Done;
+        s = State::Claimed;
+    }
+    return s;
+}
+
+std::vector<Manifest::State> Manifest::snapshot(
+    std::uint64_t num_chunks) const {
+    std::vector<State> states(static_cast<std::size_t>(num_chunks),
+                              State::Unclaimed);
+    for (const Event& e : scan()) {
+        if (e.chunk >= num_chunks) continue;
+        auto& s = states[static_cast<std::size_t>(e.chunk)];
+        if (e.kind == kKindDone)
+            s = State::Done;
+        else if (s == State::Unclaimed)
+            s = State::Claimed;
+    }
+    return states;
+}
+
+} // namespace powergear::io

@@ -1,0 +1,74 @@
+// Work-stealing manifest for sharded dataset generation.
+//
+// N worker processes sweep one design space into one content-addressed
+// cache (src/io/cache). The manifest is how they divide the chunks without
+// a coordinator: an append-only file of fixed-size records, one per claim
+// or completion event. Appends use POSIX O_APPEND, which the kernel
+// serializes for writes of this size, so the file is a total order of
+// events; the owner of a chunk is the worker whose valid claim record
+// appears first. A worker that loses the race simply moves on to the next
+// chunk.
+//
+// Like the cache, the manifest is advisory and corruption-tolerant: every
+// record carries a checksum, and a record that fails validation (torn
+// write, byte corruption, truncated tail) is skipped — invisible, as if
+// the claim never happened. The worst case is that two workers recompute
+// the same chunk, which is benign: both produce bit-identical samples and
+// the cache's atomic rename makes concurrent stores of the same key safe.
+// Corruption can therefore only *remove* knowledge (done -> claimed ->
+// unclaimed), never invent a completion or crash a reader — the fuzz suite
+// in tests/test_io.cpp flips bytes and asserts exactly that monotonicity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace powergear::io {
+
+class Manifest {
+public:
+    enum class State : std::uint8_t { Unclaimed = 0, Claimed = 1, Done = 2 };
+
+    static constexpr std::size_t kRecordSize = 40;
+
+    /// Manifest backed by `path` (created on first append). `worker` is
+    /// this process's 1-based worker id, stamped into its records.
+    Manifest(std::string path, std::uint64_t worker);
+
+    const std::string& path() const { return path_; }
+    std::uint64_t worker() const { return worker_; }
+
+    /// Append a claim for `chunk`, then re-read the file: returns true when
+    /// this worker owns the chunk (its claim is the first valid one in file
+    /// order — idempotent, re-claiming an owned chunk stays true). False
+    /// means another worker won the race.
+    bool claim(std::uint64_t chunk);
+
+    /// Append a completion record for `chunk`.
+    void complete(std::uint64_t chunk);
+
+    /// Current state of one chunk (full rescan).
+    State state(std::uint64_t chunk) const;
+    /// First valid claimer of `chunk`, if any.
+    std::optional<std::uint64_t> owner(std::uint64_t chunk) const;
+
+    /// States of chunks [0, num_chunks) from a single scan.
+    std::vector<State> snapshot(std::uint64_t num_chunks) const;
+
+private:
+    struct Event {
+        std::uint64_t chunk = 0;
+        std::uint64_t worker = 0;
+        std::uint64_t kind = 0;
+    };
+    /// Every valid record, in file order; corrupt records are skipped.
+    std::vector<Event> scan() const;
+    void append(std::uint64_t chunk, std::uint64_t kind) const;
+
+    std::string path_;
+    std::uint64_t worker_ = 0;
+};
+
+} // namespace powergear::io

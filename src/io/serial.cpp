@@ -1,5 +1,6 @@
 #include "io/serial.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "ir/printer.hpp"
@@ -351,6 +352,40 @@ gnn::Ensemble decode_ensemble(const std::vector<std::uint8_t>& payload) {
     gnn::Ensemble out;
     out.adopt(std::move(members));
     return out;
+}
+
+// --- dse stage: objective-space points ---------------------------------------
+
+std::vector<std::uint8_t> encode_points(const std::vector<dse::Point>& pts) {
+    Writer w;
+    w.u64(pts.size());
+    for (const dse::Point& p : pts) {
+        w.f64(p.latency);
+        w.f64(p.power);
+        w.i64(p.index);
+    }
+    return w.take();
+}
+
+std::vector<dse::Point> decode_points(const std::vector<std::uint8_t>& payload) {
+    Reader r(payload);
+    const std::uint64_t n = r.u64();
+    if (n > payload.size() / 24)
+        throw std::runtime_error("artifact: dse point count exceeds payload");
+    std::vector<dse::Point> pts;
+    pts.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        dse::Point p;
+        p.latency = r.f64();
+        p.power = r.f64();
+        p.index = r.i64();
+        if (!std::isfinite(p.latency) || !std::isfinite(p.power))
+            throw std::runtime_error(
+                "artifact: non-finite dse point objective");
+        pts.push_back(p);
+    }
+    r.expect_done("dse payload");
+    return pts;
 }
 
 // --- framed file conveniences ------------------------------------------------

@@ -9,6 +9,7 @@
 //   "graph"     graphgen::Graph                          hls + sim
 //   "sample"    dataset::Sample (graph, features, labels) graph + board
 //   "model"     gnn::Ensemble (configs + weights)        samples
+//   "dse"       dse::Point frontier (shard artifacts)    samples
 //
 // encode_* produce raw little-endian payload bytes (hash those for content
 // addressing); save_*_file frame them and write atomically; load_*_file
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "dataset/sample.hpp"
+#include "dse/pareto.hpp"
 #include "gnn/ensemble.hpp"
 #include "hls/report.hpp"
 #include "io/artifact.hpp"
@@ -36,12 +38,14 @@ constexpr char kStageSim[] = "sim";
 constexpr char kStageGraph[] = "graph";
 constexpr char kStageSample[] = "sample";
 constexpr char kStageModel[] = "model";
+constexpr char kStageDse[] = "dse";
 
 constexpr std::uint32_t kHlsPayloadVersion = 1;
 constexpr std::uint32_t kSimPayloadVersion = 1;
 constexpr std::uint32_t kGraphPayloadVersion = 1;
 constexpr std::uint32_t kSamplePayloadVersion = 1;
 constexpr std::uint32_t kModelPayloadVersion = 1;
+constexpr std::uint32_t kDsePayloadVersion = 1;
 
 // --- hls stage: schedule + report -------------------------------------------
 std::vector<std::uint8_t> encode_hls(const hls::Schedule& sched,
@@ -69,6 +73,12 @@ dataset::Sample decode_sample(const std::vector<std::uint8_t>& payload);
 // --- model stage: trained ensemble ------------------------------------------
 std::vector<std::uint8_t> encode_ensemble(const gnn::Ensemble& ensemble);
 gnn::Ensemble decode_ensemble(const std::vector<std::uint8_t>& payload);
+
+// --- dse stage: objective-space points (shard frontier artifacts) -----------
+std::vector<std::uint8_t> encode_points(const std::vector<dse::Point>& pts);
+/// Rejects non-finite objectives, so a crafted shard artifact can never
+/// feed NaN/inf into the dominance order.
+std::vector<dse::Point> decode_points(const std::vector<std::uint8_t>& payload);
 
 // --- framed file conveniences ------------------------------------------------
 void save_hls_file(const std::string& path, const hls::Schedule& sched,

@@ -122,6 +122,20 @@ const OptionSpec& Parsed::spec_of(const std::string& name) const {
     throw UsageError("internal: option --" + name + " is not declared");
 }
 
+ShardSpec parse_shard(const std::string& text) {
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= text.size() || text.find('/', slash + 1) != std::string::npos)
+        throw UsageError("--shard expects i/N (e.g. 1/4), got '" + text + "'");
+    const long long i = parse_int("shard", text.substr(0, slash));
+    const long long n = parse_int("shard", text.substr(slash + 1));
+    if (i < 1 || n < 1 || i > n)
+        throw UsageError("--shard " + text +
+                         ": worker index must satisfy 1 <= i <= N");
+    return ShardSpec{static_cast<std::uint64_t>(i),
+                     static_cast<std::uint64_t>(n)};
+}
+
 Parsed parse(int argc, const char* const* argv,
              std::span<const OptionSpec> specs,
              std::span<const std::string> commands) {

@@ -17,6 +17,7 @@
 // exists.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <span>
 #include <stdexcept>
@@ -58,6 +59,16 @@ std::size_t edit_distance(const std::string& a, const std::string& b);
 /// is close enough (ties go to the earliest candidate).
 std::string closest(const std::string& input,
                     std::span<const std::string> candidates);
+
+/// A "--shard i/N" worker designation (1-based, i <= N).
+struct ShardSpec {
+    std::uint64_t index = 1;
+    std::uint64_t count = 1;
+};
+
+/// Parse "i/N" strictly: both halves whole positive integers,
+/// 1 <= i <= N. Throws UsageError (exit-2 contract) on anything else.
+ShardSpec parse_shard(const std::string& text);
 
 class Parsed {
 public:

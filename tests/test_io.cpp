@@ -17,6 +17,7 @@
 #include "gnn/serialize.hpp"
 #include "hls/flow.hpp"
 #include "io/cache.hpp"
+#include "io/manifest.hpp"
 #include "io/serial.hpp"
 #include "kernels/polybench.hpp"
 #include "obs/obs.hpp"
@@ -560,4 +561,131 @@ TEST(ArtifactFuzz, StageCodecSurvivesRawPayloadCorruption) {
             // Clean rejection is one of the two acceptable outcomes.
         }
     }
+}
+
+// --- work-stealing manifest --------------------------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace
+
+TEST(Manifest, FirstValidClaimWinsAndIsIdempotent) {
+    TempDir tmp("manifest");
+    const std::string path = tmp.file("sweep.mf");
+    io::Manifest w1(path, 1);
+    io::Manifest w2(path, 2);
+
+    EXPECT_TRUE(w1.claim(0));
+    EXPECT_FALSE(w2.claim(0)); // lost the race: w1's record is first
+    EXPECT_TRUE(w1.claim(0));  // re-claiming an owned chunk stays true
+    EXPECT_TRUE(w2.claim(1));
+
+    EXPECT_EQ(w1.state(0), io::Manifest::State::Claimed);
+    ASSERT_TRUE(w1.owner(0).has_value());
+    EXPECT_EQ(*w1.owner(0), 1u);
+    ASSERT_TRUE(w1.owner(1).has_value());
+    EXPECT_EQ(*w1.owner(1), 2u);
+    EXPECT_FALSE(w1.owner(2).has_value());
+
+    w1.complete(0);
+    EXPECT_EQ(w2.state(0), io::Manifest::State::Done);
+    const auto snap = w2.snapshot(3);
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0], io::Manifest::State::Done);
+    EXPECT_EQ(snap[1], io::Manifest::State::Claimed);
+    EXPECT_EQ(snap[2], io::Manifest::State::Unclaimed);
+}
+
+TEST(Manifest, MissingFileMeansEverythingUnclaimed) {
+    TempDir tmp("manifest_empty");
+    const io::Manifest m(tmp.file("nothere.mf"), 1);
+    EXPECT_EQ(m.state(0), io::Manifest::State::Unclaimed);
+    EXPECT_FALSE(m.owner(7).has_value());
+    for (const auto s : m.snapshot(4))
+        EXPECT_EQ(s, io::Manifest::State::Unclaimed);
+}
+
+TEST(ManifestFuzz, ByteFlipsOnlyEverRemoveKnowledge) {
+    // Corruption must degrade a record to "invisible" — a chunk's state can
+    // drop (Done -> Claimed -> Unclaimed, forcing benign recomputation) but
+    // never rise, never crash a reader, and never mint a second owner.
+    TempDir tmp("manifest_fuzz");
+    const std::string clean_path = tmp.file("clean.mf");
+    {
+        io::Manifest w1(clean_path, 1);
+        io::Manifest w2(clean_path, 2);
+        for (std::uint64_t c = 0; c < 8; ++c) (c % 2 ? w2 : w1).claim(c);
+        for (std::uint64_t c = 0; c < 4; ++c) (c % 2 ? w2 : w1).complete(c);
+    }
+    const std::vector<std::uint8_t> clean_bytes = read_bytes(clean_path);
+    ASSERT_EQ(clean_bytes.size(), 12 * io::Manifest::kRecordSize);
+    const auto clean_states = io::Manifest(clean_path, 9).snapshot(8);
+
+    const std::string fuzz_path = tmp.file("fuzz.mf");
+    util::Rng rng(0xF1A5);
+    for (int i = 0; i < 500; ++i) {
+        // Sweep every byte of the first record, then random positions.
+        const std::size_t pos =
+            i < static_cast<int>(io::Manifest::kRecordSize)
+                ? static_cast<std::size_t>(i)
+                : static_cast<std::size_t>(
+                      rng.next_double() *
+                      static_cast<double>(clean_bytes.size()));
+        const auto flip =
+            static_cast<std::uint8_t>(1 + rng.next_double() * 255.0);
+        auto corrupt = clean_bytes;
+        corrupt[pos] ^= flip;
+        write_bytes(fuzz_path, corrupt);
+
+        const io::Manifest reader(fuzz_path, 9);
+        const auto states = reader.snapshot(8);
+        for (std::uint64_t c = 0; c < 8; ++c) {
+            EXPECT_LE(static_cast<int>(states[c]),
+                      static_cast<int>(clean_states[c]))
+                << "flip 0x" << std::hex << +flip << " at byte " << std::dec
+                << pos << " upgraded chunk " << c;
+            // An owner, if any, is one of the workers that actually wrote a
+            // claim — corruption cannot invent a third claimant.
+            const auto o = reader.owner(c);
+            if (o.has_value()) {
+                EXPECT_TRUE(*o == 1 || *o == 2) << *o;
+            }
+        }
+    }
+
+    // Truncated tail (torn final write): the partial record is skipped.
+    auto torn = clean_bytes;
+    torn.resize(torn.size() - 13);
+    write_bytes(fuzz_path, torn);
+    const auto torn_states = io::Manifest(fuzz_path, 9).snapshot(8);
+    for (std::uint64_t c = 0; c < 8; ++c)
+        EXPECT_LE(static_cast<int>(torn_states[c]),
+                  static_cast<int>(clean_states[c]));
+
+    // The claim protocol still works on a corrupted file and stays
+    // exclusive: no double-claim, whatever the damage did.
+    auto corrupt = clean_bytes;
+    for (std::size_t r = 0; r < corrupt.size(); r += io::Manifest::kRecordSize)
+        corrupt[r + 8] ^= 0xFF; // break every record's chunk field checksum
+    write_bytes(fuzz_path, corrupt);
+    io::Manifest w1(fuzz_path, 1);
+    io::Manifest w2(fuzz_path, 2);
+    EXPECT_EQ(w1.state(3), io::Manifest::State::Unclaimed);
+    const bool got1 = w1.claim(3);
+    const bool got2 = w2.claim(3);
+    EXPECT_TRUE(got1);
+    EXPECT_FALSE(got2);
 }

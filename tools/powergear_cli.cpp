@@ -7,6 +7,12 @@
 //                      [--kind dynamic]
 //   powergear dse      --kernel atax --samples 48 --budget 0.4
 //                      [--train bicg,gemm,syrk]
+//   powergear dse      --kernel atax --stream [--chunk 64 --spread-gate G
+//                      --epsilon E --max-archive M --limit P]
+//   powergear dse      --kernel atax --shard i/N --cache-dir D
+//                      [--chunk 64 --limit P]
+//   powergear dse      --kernel atax --merge N --cache-dir D
+//                      [--chunk 64 --limit P]
 //   powergear serve    --model model.pgm --socket /tmp/pg.sock
 //                      [--max-batch N --batch-window-us U --max-queue N]
 //   powergear serve    --socket /tmp/pg.sock {--ping|--reload|--stop}
@@ -54,6 +60,8 @@
 #include "dataset/generator.hpp"
 #include "dataset/splits.hpp"
 #include "dse/explorer.hpp"
+#include "dse/shard.hpp"
+#include "dse/stream_explorer.hpp"
 #include "gnn/serialize.hpp"
 #include "io/cache.hpp"
 #include "io/serial.hpp"
@@ -100,6 +108,22 @@ constexpr util::cli::OptionSpec kSpecs[] = {
     {"hidden", OptType::Int, "", "", "train", "hidden layer width"},
     {"budget", OptType::Double, "0.4", "", "dse",
      "estimation budget fraction"},
+    {"stream", OptType::Flag, "", "", "dse",
+     "use the streaming explorer (bounded memory, spread-guided)"},
+    {"shard", OptType::String, "", "", "dse",
+     "run ground-truth sweep worker i/N against a shared cache"},
+    {"merge", OptType::Int, "", "", "dse",
+     "merge N shard frontiers from the cache and print the result"},
+    {"chunk", OptType::Int, "64", "", "dse",
+     "points per scoring batch / work-stealing unit"},
+    {"limit", OptType::Int, "0", "", "dse",
+     "cap swept candidate points (0 = full space)"},
+    {"spread-gate", OptType::Double, "0", "", "dse",
+     "promote frontier entrants only above this x mean ensemble spread"},
+    {"epsilon", OptType::Double, "0", "", "dse",
+     "epsilon-dominance grid width (0 = exact frontier)"},
+    {"max-archive", OptType::Int, "0", "", "dse",
+     "frontier size cap; escalates epsilon when exceeded (0 = unbounded)"},
     {"points", OptType::Int, "6", "", "lint", "design points per kernel"},
     {"json", OptType::Flag, "", "", "lint", "emit JSON diagnostics"},
     {"all", OptType::Flag, "", "", "lint", "lint every registered kernel"},
@@ -293,7 +317,89 @@ int cmd_estimate(const Parsed& a) {
     return 0;
 }
 
+dse::ArchiveConfig archive_config(const Parsed& a) {
+    dse::ArchiveConfig cfg;
+    cfg.epsilon = a.get_double("epsilon", 0.0);
+    const int cap = a.get_int("max-archive", 0);
+    if (cap < 0) throw UsageError("--max-archive must be >= 0");
+    cfg.max_size = static_cast<std::size_t>(cap);
+    return cfg;
+}
+
+/// Frontier rows printed with %.17g so bit-identical frontiers produce
+/// byte-identical output — the sharded-vs-unsharded CI check compares these
+/// lines with cmp(1).
+void print_frontier(const std::vector<dse::Point>& front) {
+    std::printf("%-14s %12s %24s\n", "frontier", "latency", "dyn power (W)");
+    for (const dse::Point& p : front)
+        std::printf("%-14s %12.0f %24.17g\n",
+                    ("design#" + std::to_string(p.index)).c_str(), p.latency,
+                    p.power);
+}
+
+/// Ground-truth sweep worker: claim chunks through the manifest, generate
+/// samples into the shared cache, publish this worker's frontier artifact.
+int cmd_dse_shard(const Parsed& a) {
+    const util::cli::ShardSpec spec = util::cli::parse_shard(a.get("shard"));
+    const io::Cache cache = io::Cache::resolve(a.get("cache-dir"));
+    if (!cache.enabled()) {
+        std::fprintf(stderr,
+                     "error: dse --shard needs --cache-dir DIR (or "
+                     "POWERGEAR_CACHE) — workers meet in the cache\n");
+        return 1;
+    }
+    const ir::Function fn = kernels::build_polybench(a.get("kernel", "atax"),
+                                                     a.get_int("size", 16));
+    dse::ShardConfig cfg;
+    cfg.worker = spec.index;
+    cfg.num_workers = spec.count;
+    cfg.chunk = static_cast<std::size_t>(a.get_int("chunk", 64));
+    cfg.limit = static_cast<std::uint64_t>(a.get_int("limit", 0));
+    cfg.archive = archive_config(a);
+    const dse::ShardOutcome out =
+        dse::run_shard(fn, generator_options(a), dataset::PowerKind::Dynamic,
+                       cache, cfg);
+    std::printf("shard %llu/%llu: %llu chunk(s) claimed (%llu stolen), "
+                "%llu point(s), frontier %zu\n",
+                static_cast<unsigned long long>(spec.index),
+                static_cast<unsigned long long>(spec.count),
+                static_cast<unsigned long long>(out.chunks_claimed),
+                static_cast<unsigned long long>(out.chunks_stolen),
+                static_cast<unsigned long long>(out.points),
+                out.front.size());
+    std::printf("wrote %s\n", out.artifact_path.c_str());
+    return 0;
+}
+
+int cmd_dse_merge(const Parsed& a) {
+    const int n = a.get_int("merge", 0);
+    if (n < 1) throw UsageError("--merge expects the shard count N (>= 1)");
+    const io::Cache cache = io::Cache::resolve(a.get("cache-dir"));
+    if (!cache.enabled()) {
+        std::fprintf(stderr,
+                     "error: dse --merge needs --cache-dir DIR (or "
+                     "POWERGEAR_CACHE)\n");
+        return 1;
+    }
+    const ir::Function fn = kernels::build_polybench(a.get("kernel", "atax"),
+                                                     a.get_int("size", 16));
+    const std::uint64_t key = dse::shard_space_key(
+        fn, generator_options(a), dataset::PowerKind::Dynamic,
+        static_cast<std::size_t>(a.get_int("chunk", 64)),
+        static_cast<std::uint64_t>(a.get_int("limit", 0)),
+        static_cast<std::uint64_t>(n));
+    const std::vector<dse::Point> front =
+        dse::merge_shards(cache, key, static_cast<std::uint64_t>(n),
+                          archive_config(a));
+    std::printf("merged %d shard(s): frontier %zu point(s)\n", n,
+                front.size());
+    print_frontier(front);
+    return 0;
+}
+
 int cmd_dse(const Parsed& a) {
+    if (a.has("shard")) return cmd_dse_shard(a);
+    if (a.has("merge")) return cmd_dse_merge(a);
     const std::string target = a.get("kernel", "atax");
     const auto train_kernels = split_list(a.get("train", "bicg,gemm,syrk"));
     std::vector<dataset::Dataset> suite;
@@ -308,6 +414,27 @@ int cmd_dse(const Parsed& a) {
     if (pg.fit_cached(dataset::pool_except(suite, tgt),
                       io::Cache(cache_dir_of(a))))
         std::printf("loaded trained ensemble from the pipeline cache\n");
+
+    if (a.flag("stream")) {
+        dse::StreamConfig scfg;
+        scfg.chunk = static_cast<std::size_t>(a.get_int("chunk", 64));
+        scfg.spread_gate = a.get_double("spread-gate", 0.0);
+        scfg.archive = archive_config(a);
+        if (a.has("limit"))
+            scfg.max_points =
+                static_cast<std::uint64_t>(a.get_int("limit", 0));
+        const dse::StreamingExplorer explorer(scfg);
+        const dse::StreamResult res = explorer.run(
+            dataset::pool_of(suite[tgt]), pg, dataset::PowerKind::Dynamic);
+        std::printf("streamed %llu candidate(s): %llu archived, %llu "
+                    "promoted to ground truth, ADRS %.4f\n",
+                    static_cast<unsigned long long>(res.stats.streamed),
+                    static_cast<unsigned long long>(res.stats.archived),
+                    static_cast<unsigned long long>(res.stats.promoted),
+                    res.adrs_value);
+        print_frontier(res.true_front);
+        return 0;
+    }
 
     dse::ExplorerConfig cfg;
     cfg.total_budget = a.get_double("budget", 0.4);
@@ -521,7 +648,17 @@ void usage() {
         "            estimate every design of a kernel vs. board labels\n"
         "  dse       --kernel K [--train A,B,C --budget 0.4]\n"
         "            [--jobs N] [--metrics F] [--cache-dir D]\n"
-        "            explore a design space under an estimation budget\n"
+        "            explore a design space under an estimation budget.\n"
+        "            --stream uses the streaming explorer (bounded memory,\n"
+        "            incremental Pareto archive, ensemble-spread-guided\n"
+        "            ground-truth promotion; tune --chunk/--spread-gate/\n"
+        "            --epsilon/--max-archive/--limit).\n"
+        "            --shard i/N runs ground-truth sweep worker i of N into\n"
+        "            a shared --cache-dir (work-stealing manifest; run all\n"
+        "            N workers concurrently or in any order), then\n"
+        "            --merge N folds the shard frontiers into the final\n"
+        "            Pareto front — bit-identical to a --shard 1/1 sweep\n"
+        "            merged with --merge 1\n"
         "  serve     --model M.pgm --socket P [--max-batch N\n"
         "            --batch-window-us U --max-queue N] [--jobs N]\n"
         "            [--metrics F]\n"
